@@ -1,0 +1,110 @@
+// Command benchtab regenerates the paper's tables and figures as text
+// artifacts (see DESIGN.md section 4 for the experiment index).
+//
+// Usage:
+//
+//	benchtab -all                # every artifact, paper order
+//	benchtab -table 1            # Table I
+//	benchtab -fig 7              # Figure 7
+//	benchtab -x attacks          # extension experiment X3
+//	benchtab -all -seed 99       # different deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"trust/internal/harness"
+)
+
+func main() {
+	var (
+		all   = flag.Bool("all", false, "regenerate every table and figure")
+		table = flag.Int("table", 0, "regenerate Table N (1 or 2)")
+		fig   = flag.Int("fig", 0, "regenerate Figure N (1..10)")
+		ext   = flag.String("x", "", "extension experiment: placement|window|attacks|energy|frameaudit|transfer|fuzzyvault|modalities|hijack|imagepipeline|adaptation|noise|personalization")
+		seed  = flag.Uint64("seed", harness.Seed, "deterministic experiment seed")
+		out   = flag.String("out", "", "also write each artifact to <out>/<id>.txt")
+	)
+	flag.Parse()
+
+	emit := func(r harness.Result) {
+		fmt.Println(r.String())
+		if *out == "" {
+			return
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, r.ID+".txt")
+		if err := os.WriteFile(path, []byte(r.String()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	run := func(r harness.Result, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		emit(r)
+	}
+
+	switch {
+	case *all:
+		results, err := harness.AllResults(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			emit(r)
+		}
+	case *table == 1:
+		run(harness.Table1(*seed))
+	case *table == 2:
+		run(harness.Table2())
+	case *fig >= 1 && *fig <= 10:
+		gens := map[int]func() (harness.Result, error){
+			1:  func() (harness.Result, error) { return harness.Fig1(*seed) },
+			2:  func() (harness.Result, error) { return harness.Fig2(*seed) },
+			3:  func() (harness.Result, error) { return harness.Fig3() },
+			4:  func() (harness.Result, error) { return harness.Fig4(*seed) },
+			5:  func() (harness.Result, error) { return harness.Fig5(*seed) },
+			6:  func() (harness.Result, error) { return harness.Fig6(*seed) },
+			7:  func() (harness.Result, error) { return harness.Fig7(*seed) },
+			8:  func() (harness.Result, error) { return harness.Fig8(*seed) },
+			9:  func() (harness.Result, error) { return harness.Fig9(*seed) },
+			10: func() (harness.Result, error) { return harness.Fig10(*seed) },
+		}
+		run(gens[*fig]())
+	case *ext != "":
+		gens := map[string]func() (harness.Result, error){
+			"placement":       func() (harness.Result, error) { return harness.XPlacement(*seed) },
+			"window":          func() (harness.Result, error) { return harness.XWindow(*seed) },
+			"attacks":         func() (harness.Result, error) { return harness.XAttacks(*seed) },
+			"energy":          func() (harness.Result, error) { return harness.XEnergy(*seed) },
+			"frameaudit":      func() (harness.Result, error) { return harness.XFrameAudit(*seed) },
+			"transfer":        func() (harness.Result, error) { return harness.XTransfer(*seed) },
+			"fuzzyvault":      func() (harness.Result, error) { return harness.XFuzzyVault(*seed) },
+			"modalities":      func() (harness.Result, error) { return harness.XModalities(*seed) },
+			"hijack":          func() (harness.Result, error) { return harness.XHijack(*seed) },
+			"imagepipeline":   func() (harness.Result, error) { return harness.XImagePipeline(*seed) },
+			"adaptation":      func() (harness.Result, error) { return harness.XAdaptation(*seed) },
+			"noise":           func() (harness.Result, error) { return harness.XNoise(*seed) },
+			"personalization": func() (harness.Result, error) { return harness.XPersonalization(*seed) },
+		}
+		gen, ok := gens[*ext]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown extension %q\n", *ext)
+			os.Exit(2)
+		}
+		run(gen())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

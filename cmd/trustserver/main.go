@@ -1,0 +1,41 @@
+// Command trustserver runs a TRUST-enabled web server over HTTP. The
+// certificate authority is derived deterministically from -caseed, so a
+// trustdevice started with the same -caseed trusts the same root — this
+// stands in for factory-provisioned CA material.
+//
+// Usage:
+//
+//	trustserver -addr :8443 -domain bank.example -caseed 2012
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"trust/internal/pki"
+	"trust/internal/webserver"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8443", "listen address")
+		domain = flag.String("domain", "bank.example", "server domain")
+		caSeed = flag.Uint64("caseed", 2012, "deterministic CA seed shared with devices")
+		seed   = flag.Uint64("seed", 1, "server key seed")
+	)
+	flag.Parse()
+
+	ca, err := pki.NewCA("trust-root", pki.NewDeterministicRand(*caSeed))
+	if err != nil {
+		log.Fatalf("trustserver: CA: %v", err)
+	}
+	srv, err := webserver.New(*domain, ca, *seed)
+	if err != nil {
+		log.Fatalf("trustserver: %v", err)
+	}
+	fmt.Printf("TRUST server for %s listening on %s (CA seed %d)\n", *domain, *addr, *caSeed)
+	fmt.Println("endpoints: /trust/cert /trust/register /trust/login /trust/page /trust/audit")
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,233 @@
+// Command trustsim runs end-to-end TRUST scenarios from the command
+// line.
+//
+// Usage:
+//
+//	trustsim -scenario local    # owner uses the phone; risk trace
+//	trustsim -scenario theft    # device stolen mid-session
+//	trustsim -scenario remote   # register + login + browse at a server
+//	trustsim -scenario attacks  # full Sec IV-B attack suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"trust"
+	"trust/internal/core"
+	"trust/internal/fingerprint"
+	"trust/internal/flock"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "local", "local | theft | remote | attacks | drift")
+		seed     = flag.Uint64("seed", 2012, "deterministic seed")
+		touches  = flag.Int("touches", 300, "touches in the simulated session")
+	)
+	flag.Parse()
+
+	var err error
+	switch *scenario {
+	case "local":
+		err = runLocal(*seed, *touches, -1)
+	case "theft":
+		err = runLocal(*seed, *touches, *touches/2)
+	case "remote":
+		err = runRemote(*seed)
+	case "attacks":
+		err = runAttacks(*seed)
+	case "drift":
+		err = runDrift(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "trustsim: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trustsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runLocal(seed uint64, touches, impostorStart int) error {
+	w, err := trust.NewWorld(seed)
+	if err != nil {
+		return err
+	}
+	userName := "user1-right-thumb"
+	u := w.Users[userName]
+	mod, err := flock.New(flock.DefaultConfig(w.Place), w.CA, "sim-phone", seed+5)
+	if err != nil {
+		return err
+	}
+	if err := mod.Enroll(fingerprint.NewTemplate(u.Finger)); err != nil {
+		return err
+	}
+	ld, err := trust.NewLocalDevice(mod, trust.DefaultLocalPolicy(), w.Place.Sensors[0])
+	if err != nil {
+		return err
+	}
+	s, err := trust.GenerateSession(u.Model, w.Screen, touches, trust.NewRNG(seed^0x51))
+	if err != nil {
+		return err
+	}
+	var impostor *trust.Finger
+	if impostorStart >= 0 {
+		impostor = trust.SynthesizeFinger(seed+31337, trust.Whorl)
+		fmt.Printf("scenario: device stolen at touch %d\n\n", impostorStart)
+	}
+	report, err := trust.RunLocalSession(ld, s, u.Finger, impostor, impostorStart)
+	if err != nil {
+		return err
+	}
+
+	st := report.Stats
+	fmt.Printf("user: %s, %d touches over %v\n", report.User, report.Touches, report.Duration.Round(time.Second))
+	fmt.Printf("pipeline: %d outside sensors, %d low quality, %d matched, %d mismatched\n",
+		st.OutsideSensor, st.LowQuality, st.Matched, st.Mismatched)
+	fmt.Printf("verified-capture rate: %.1f%%\n", report.CaptureRate()*100)
+	fmt.Printf("responses: %d halts, %d locks; device locked at end: %v\n",
+		report.HaltEvents, report.LockEvents, report.Locked)
+	if impostorStart >= 0 {
+		if report.DetectionTouches >= 0 {
+			fmt.Printf("impostor detected after %d touches\n", report.DetectionTouches)
+		} else {
+			fmt.Println("impostor NOT detected")
+		}
+	}
+	fmt.Println("\nrisk trace (every 10th touch):")
+	for i, p := range report.Trace {
+		if i%10 != 0 && p.Action == core.NoAction {
+			continue
+		}
+		fmt.Printf("  touch %3d  %-15s risk %.2f  %s\n", p.Touch, p.Outcome, p.Risk, p.Action)
+	}
+	return nil
+}
+
+func runRemote(seed uint64) error {
+	w, err := trust.NewWorld(seed)
+	if err != nil {
+		return err
+	}
+	srv, err := w.AddServer("bank.example")
+	if err != nil {
+		return err
+	}
+	userName := "user1-right-thumb"
+	dev, err := w.AddDevice("sim-phone", userName, "bank.example")
+	if err != nil {
+		return err
+	}
+	now, err := w.TouchButtonUntilVerified(dev, userName, 0)
+	if err != nil {
+		return err
+	}
+	if err := dev.Register(now, "acct-sim", "recovery-pw"); err != nil {
+		return err
+	}
+	fmt.Println("registered acct-sim at bank.example (Fig 9 flow)")
+	now, err = w.TouchButtonUntilVerified(dev, userName, now)
+	if err != nil {
+		return err
+	}
+	if err := dev.Login(now, srv.Certificate(), "acct-sim"); err != nil {
+		return err
+	}
+	fmt.Println("logged in; session established (Fig 10 flow)")
+	for _, action := range []string{"view-statement", "home", "view-statement"} {
+		now, err = w.TouchButtonUntilVerified(dev, userName, now)
+		if err != nil {
+			return err
+		}
+		if err := dev.Browse(now, action); err != nil {
+			return err
+		}
+		fmt.Printf("  request %-16s ok (continuous auth)\n", action)
+	}
+	report := srv.RunAudit()
+	fmt.Printf("offline frame audit: %d entries checked, %d flagged\n", report.Checked, report.Tampered)
+	return nil
+}
+
+// runDrift shows template aging: the owner's skin drifts epoch by
+// epoch; a static module decays while an adaptive module tracks.
+func runDrift(seed uint64) error {
+	w, err := trust.NewWorld(seed)
+	if err != nil {
+		return err
+	}
+	u := w.Users["user1-right-thumb"]
+	mkModule := func(adaptive bool, moduleSeed uint64) (*flock.Module, error) {
+		cfg := flock.DefaultConfig(w.Place)
+		if adaptive {
+			cfg.AdaptScoreMin = 0.6
+		}
+		m, err := flock.New(cfg, w.CA, "drift-phone", moduleSeed)
+		if err != nil {
+			return nil, err
+		}
+		return m, m.Enroll(fingerprint.NewTemplate(u.Finger))
+	}
+	static, err := mkModule(false, seed+1)
+	if err != nil {
+		return err
+	}
+	adaptive, err := mkModule(true, seed+2)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("epoch  cumulative drift  static accept  adaptive accept")
+	current := u.Finger
+	rng := trust.NewRNG(seed ^ 0xd1)
+	var at time.Duration
+	for epoch := 1; epoch <= 8; epoch++ {
+		current = current.Drifted(0.22, seed+uint64(epoch))
+		sOK, aOK, n := 0, 0, 0
+		for i := 0; i < 20; i++ {
+			ev := trust.TouchEvent{
+				At: at, Pos: w.Place.Sensors[0].Center(),
+				Pressure: 0.7, RadiusMM: 4.2, SpeedMMS: 1,
+				FingerOffsetMM: trust.Point{X: rng.Normal(0, 1.2), Y: rng.Normal(0, 1.5)},
+			}
+			n++
+			if static.HandleTouch(ev, current).Kind == flock.Matched {
+				sOK++
+			}
+			if adaptive.HandleTouch(ev, current).Kind == flock.Matched {
+				aOK++
+			}
+			at += 500 * time.Millisecond
+		}
+		fmt.Printf("%5d  %13.1f mm  %12d%%  %14d%%\n",
+			epoch, 0.22*float64(epoch), 100*sOK/n, 100*aOK/n)
+	}
+	fmt.Println("\nconfident-match adaptation keeps the template usable as skin drifts")
+	return nil
+}
+
+func runAttacks(seed uint64) error {
+	results := trust.RunAttackSuite(seed)
+	defended := 0
+	for _, r := range results {
+		status := "DEFENDED"
+		if !r.Defended {
+			status = "BREACHED"
+		}
+		if r.Err != nil {
+			status = "ERROR: " + r.Err.Error()
+		}
+		if r.Defended {
+			defended++
+		}
+		fmt.Printf("%-34s %-9s %s\n", r.Name, status, r.Mechanism)
+	}
+	fmt.Printf("\n%d/%d attacks defended\n", defended, len(results))
+	if defended != len(results) {
+		return fmt.Errorf("attack suite breached")
+	}
+	return nil
+}

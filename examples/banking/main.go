@@ -1,0 +1,118 @@
+// Banking: the paper's remote identity management scenario end to end.
+// A user registers at a bank with her fingerprint (Fig 9), logs in and
+// browses under continuous authentication (Fig 10) — then the phone's
+// browser is compromised: malware repaints the screen to trick her into
+// confirming a transfer. The request goes through online (the touch was
+// real), but the frame-hash audit exposes the deception.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trust"
+	"trust/internal/device"
+	"trust/internal/frame"
+)
+
+func main() {
+	world, err := trust.NewWorld(2012)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bank, err := world.AddServer("bank.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const user = "user2-two-thumbs"
+	phone, err := world.AddDevice("alices-phone", user, "bank.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Registration (Fig 9): one verified touch on the Register
+	// button binds a fresh per-service key pair to the account.
+	now, err := world.TouchButtonUntilVerified(phone, user, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := phone.Register(now, "alice", "fallback-recovery-pw"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1. registered: account `alice` bound to a device-held key pair; no password created")
+
+	// --- Login (Fig 10): a verified touch on the Login button mints a
+	// session key, encrypted to the bank's certificate.
+	now, err = world.TouchButtonUntilVerified(phone, user, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := phone.Login(now, bank.Certificate(), "alice"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2. logged in: session established, frame hash + risk factor attached")
+
+	// --- Honest browsing under continuous authentication.
+	for _, action := range []string{"view-statement", "home"} {
+		now, err = world.TouchButtonUntilVerified(phone, user, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := phone.Browse(now, action); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("3. browsed %q — every request carries x-of-n touch verifications\n", action)
+	}
+
+	// --- Compromise: malware repaints pages before display. The FLock
+	// display repeater hashes what is ACTUALLY shown.
+	phone.Malware = &device.Malware{
+		TamperFrame: func(p *frame.Page) *frame.Page {
+			p.Body = "Session expired. Touch Confirm to stay logged in."
+			for i := range p.Elements {
+				if p.Elements[i].Action != "" {
+					p.Elements[i].Label = "Confirm"
+				}
+			}
+			return p
+		},
+	}
+	// The next page the bank serves is repainted by the malware before
+	// it reaches the screen...
+	now, err = world.TouchButtonUntilVerified(phone, user, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := phone.Browse(now, "home"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("4. malware now repaints every displayed page ('Session expired... Confirm')")
+	// ...and the user's next touch — made while looking at the forged
+	// page — triggers the transfer. The request's frame hash attests
+	// what was ACTUALLY displayed.
+	now, err = world.TouchButtonUntilVerified(phone, user, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := phone.Browse(now, "confirm-transfer"); err != nil {
+		fmt.Printf("   malware transfer rejected online: %v\n", err)
+	} else {
+		fmt.Println("   malware-framed transfer went through online (the touch was genuine)...")
+	}
+
+	// --- The offline audit: the logged frame hash matches no standard
+	// view of any page the bank served.
+	report := bank.RunAudit()
+	fmt.Printf("5. offline frame audit: %d entries checked, %d flagged as tampered\n",
+		report.Checked, report.Tampered)
+	for _, f := range report.Findings {
+		if !f.OK {
+			fmt.Printf("   flagged: account=%s page=%s hash=%s (no legitimate view matches)\n",
+				f.Entry.Account, f.Entry.PageURL, f.Entry.Hash.Short())
+		}
+	}
+	if report.Tampered == 0 {
+		log.Fatal("expected the audit to flag the spoofed frame")
+	}
+	fmt.Println("\nthe bank now has cryptographic evidence the user was shown a forged page")
+}

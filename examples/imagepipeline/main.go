@@ -1,0 +1,114 @@
+// Imagepipeline: the FLock fingerprint processor running the real CV
+// stack. A finger is enrolled from an actual full-finger scan image;
+// every touch then images the sensor window, skeletonizes it, extracts
+// crossing-number minutiae, and matches — no simulation shortcut in the
+// biometric path (compare experiment X10).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"trust"
+	"trust/internal/flock"
+	"trust/internal/geom"
+	"trust/internal/sensor"
+)
+
+func main() {
+	world, err := trust.NewWorld(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner := world.Users["user1-right-thumb"]
+
+	// 1. Enrolment: a finger-sized scanner (16x20 mm at 50 um) images
+	// the whole fingertip once.
+	enrollCfg := sensor.Config{Name: "enroll", CellPitchUM: 50, Cols: 320, Rows: 400, ClockHz: 4e6, MuxWidth: 8}
+	scanner, err := sensor.New(enrollCfg, trust.NewRNG(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	scan := scanner.Scan(func(p geom.Point) float64 { return owner.Finger.RidgeValue(p) },
+		scanner.FullRegion(), sensor.ScanOptions{})
+	fmt.Printf("enrolment scan: %dx%d cells in %v\n", enrollCfg.Cols, enrollCfg.Rows, scan.Elapsed.Round(time.Microsecond))
+	fmt.Println("scan excerpt (the actual ridge image the CV stack sees):")
+	fmt.Println(cropASCII(scan, 10))
+
+	minutiae := trust.ExtractMinutiae(scan.Bits, 0.05)
+	fmt.Printf("CV extraction: %d minutiae (smooth -> Zhang-Suen skeleton -> crossing numbers)\n\n", len(minutiae))
+
+	// 2. A FLock module in image-pipeline mode, enrolled from the scan.
+	module, err := flock.New(trust.ImageModuleConfig(world.Place), world.CA, "cv-phone", 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := module.EnrollFromScan("owner", scan.Bits, 0.05); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Touches: every capture is scanned, extracted, and matched.
+	rng := trust.NewRNG(3)
+	impostor := trust.SynthesizeFinger(666, trust.Whorl)
+	ownerMatched, impostorMatched := 0, 0
+	const touches = 20
+	var now time.Duration
+	for i := 0; i < touches; i++ {
+		ev := trust.TouchEvent{
+			At: now, Pos: world.Place.Sensors[0].Center(),
+			Pressure: 0.75, RadiusMM: 4.2, SpeedMMS: 1,
+			FingerOffsetMM: trust.Point{X: rng.Normal(0, 1.2), Y: rng.Normal(0, 1.5)},
+		}
+		if module.HandleTouch(ev, owner.Finger).Kind == flock.Matched {
+			ownerMatched++
+		}
+		now += 500 * time.Millisecond
+		ev.At = now
+		if module.HandleTouch(ev, impostor).Kind == flock.Matched {
+			impostorMatched++
+		}
+		now += 500 * time.Millisecond
+	}
+	fmt.Printf("owner touches verified:    %d/%d\n", ownerMatched, touches)
+	fmt.Printf("impostor touches verified: %d/%d\n", impostorMatched, touches)
+	if impostorMatched > 0 {
+		log.Fatal("impostor verified through the CV pipeline")
+	}
+	fmt.Println("\nthe zero-FAR CV operating point trades some genuine accepts for")
+	fmt.Println("hard impostor rejection — see `benchtab -x imagepipeline` for the comparison")
+}
+
+// cropASCII renders the upper-left corner of a scan.
+func cropASCII(scan sensor.ScanResult, rows int) string {
+	full := scan.Bits.ASCII(4)
+	out := ""
+	count := 0
+	for _, line := range splitLines(full) {
+		out += line[:min(len(line), 60)] + "\n"
+		count++
+		if count >= rows {
+			break
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+// Multiuser: a shared family tablet. The FLock fingerprint processor
+// matches captures against ALL stored templates (the paper's plural
+// "biometric templates"), so each authorized user is both verified and
+// identified by every touch — and revoking one user's template takes
+// one call, with no passwords to rotate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"trust"
+	"trust/internal/fingerprint"
+	"trust/internal/flock"
+)
+
+func main() {
+	world, err := trust.NewWorld(99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tablet, err := flock.New(flock.DefaultConfig(world.Place), world.CA, "family-tablet", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Enroll three family members.
+	alice := trust.SynthesizeFinger(1001, trust.Loop)
+	bob := trust.SynthesizeFinger(2002, trust.Whorl)
+	carol := trust.SynthesizeFinger(3003, trust.Arch)
+	for _, e := range []struct {
+		name   string
+		finger *trust.Finger
+	}{{"alice", alice}, {"bob", bob}, {"carol", carol}} {
+		if err := tablet.EnrollNamed(e.name, fingerprint.NewTemplate(e.finger)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("enrolled templates: %v\n\n", tablet.EnrolledNames())
+
+	// Everyone uses the tablet; each verified touch identifies who.
+	rng := trust.NewRNG(7)
+	touchOnce := func(finger *trust.Finger, now time.Duration) trust.TouchEvent {
+		return trust.TouchEvent{
+			At: now, Pos: world.Place.Sensors[0].Center(),
+			Pressure: 0.7, RadiusMM: 4.2, SpeedMMS: 1,
+			FingerOffsetMM: trust.Point{X: rng.Normal(0, 1.2), Y: rng.Normal(0, 1.5)},
+		}
+	}
+	now := time.Duration(0)
+	ids := map[string]int{}
+	fingers := map[string]*trust.Finger{"alice": alice, "bob": bob, "carol": carol}
+	order := []string{"alice", "bob", "carol"}
+	for i := 0; i < 45; i++ {
+		who := order[i%3]
+		out := tablet.HandleTouch(touchOnce(fingers[who], now), fingers[who])
+		now += 500 * time.Millisecond
+		if out.Kind == flock.Matched {
+			ids[out.Template]++
+			if out.Template != who {
+				fmt.Printf("  MISIDENTIFIED: %s's touch attributed to %s\n", who, out.Template)
+			}
+		}
+	}
+	fmt.Println("verified touches per identified user:")
+	for _, name := range order {
+		fmt.Printf("  %-6s %d\n", name, ids[name])
+	}
+
+	// Bob moves out: revoke his template.
+	if err := tablet.RevokeTemplate("bob"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrevoked bob; remaining templates: %v\n", tablet.EnrolledNames())
+	bobMatches := 0
+	for i := 0; i < 15; i++ {
+		out := tablet.HandleTouch(touchOnce(bob, now), bob)
+		now += 500 * time.Millisecond
+		if out.Kind == flock.Matched {
+			bobMatches++
+		}
+	}
+	fmt.Printf("bob's post-revocation verified touches: %d (his finger is now an impostor's)\n", bobMatches)
+	if bobMatches > 0 {
+		log.Fatal("revoked user still verifies")
+	}
+
+	// Alice still verifies fine.
+	aliceMatches := 0
+	for i := 0; i < 15; i++ {
+		out := tablet.HandleTouch(touchOnce(alice, now), alice)
+		now += 500 * time.Millisecond
+		if out.Kind == flock.Matched {
+			aliceMatches++
+		}
+	}
+	fmt.Printf("alice still verifies: %d/15 touches\n", aliceMatches)
+}

@@ -1,0 +1,71 @@
+// Placement: the paper's sensor placement design flow (Sec III-A /
+// IV-A). Collect touch logs from the three reference users, build the
+// Fig 7 density heatmaps, then greedily place transparent TFT sensor
+// patches over the hot-spots and report how much more touch coverage
+// the optimized layout captures than its area share.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trust"
+	"trust/internal/placement"
+)
+
+func main() {
+	screen := trust.ScreenBounds()
+	rng := trust.NewRNG(7)
+
+	// 1. Touch logs: 4,000 natural touches per user.
+	combined := trust.NewDensityGrid(screen, 24, 40)
+	for _, u := range trust.ReferenceUsers() {
+		personal := trust.NewDensityGrid(screen, 24, 40)
+		s, err := trust.GenerateSession(u, screen, 4000, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		personal.AddSession(s)
+		combined.AddSession(s)
+		fmt.Printf("%s — touch density (Fig 7 heatmap):\n%s\n", u.Name, personal.ASCII())
+	}
+
+	// 2. Optimize: up to 8 patches of 8x8 mm (72x72 px).
+	layout, err := trust.OptimizePlacement(combined, trust.PlacementOptions{
+		SensorWPX: 72, SensorHPX: 72, MaxSensors: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimized sensor layout:")
+	for i, s := range layout.Sensors {
+		fmt.Printf("  sensor %d at (%.0f, %.0f) px\n", i+1, s.Min.X, s.Min.Y)
+	}
+	fmt.Printf("training coverage: %.1f%% of touches on %.1f%% of the screen area (%.1fx leverage)\n\n",
+		layout.Coverage*100, layout.AreaFraction*100, layout.Coverage/layout.AreaFraction)
+
+	// 3. Held-out evaluation per user.
+	fmt.Println("held-out coverage per user:")
+	for _, u := range trust.ReferenceUsers() {
+		s, err := trust.GenerateSession(u, screen, 2000, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cov := placement.EvaluateOnSession(layout, s)
+		fmt.Printf("  %-22s %.1f%%\n", u.Name, cov*100)
+	}
+
+	// 4. The coverage curve: how many sensors are enough?
+	curve, err := placement.CoverageCurve(combined, trust.PlacementOptions{SensorWPX: 72, SensorHPX: 72}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncoverage vs sensor count (diminishing returns):")
+	for k, c := range curve {
+		bar := ""
+		for i := 0; i < int(c*50); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %d sensors  %5.1f%%  %s\n", k+1, c*100, bar)
+	}
+}

@@ -1,0 +1,96 @@
+// Quickstart: enroll a user on a FLock device, run a short natural
+// session, and watch continuous, transparent authentication happen —
+// the paper's local identity management scenario in ~60 lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"trust"
+	"trust/internal/flock"
+)
+
+func main() {
+	// A World bundles the CA, the three reference users of the paper's
+	// Fig 7, and a sensor placement optimized on their touch density.
+	world, err := trust.NewWorld(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensor placement: %d transparent TFT patches covering %.1f%% of the screen\n",
+		len(world.Place.Sensors), world.Place.AreaFraction*100)
+
+	// Build a phone and enroll the owner the way real hardware would:
+	// repeated deliberate touches on an enrolment target over a sensor,
+	// merged into a template after a mutual-consistency check.
+	owner := world.Users["user1-right-thumb"]
+	module, err := flock.New(flock.DefaultConfig(world.Place), world.CA, "quickstart-phone", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enrollment, err := module.BeginEnrollment("owner")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := trust.NewRNG(99)
+	var at time.Duration
+	for touches := 0; ; touches++ {
+		if touches > 60 {
+			log.Fatal("enrolment never completed")
+		}
+		ev := trust.TouchEvent{
+			At: at, Pos: world.Place.Sensors[0].Center(),
+			Pressure: 0.75, RadiusMM: 4.2, SpeedMMS: 1,
+			FingerOffsetMM: trust.Point{X: rng.Normal(0, 1.2), Y: rng.Normal(0, 1.5)},
+		}
+		done, err := enrollment.AddTouch(ev, owner.Finger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		at += 400 * time.Millisecond
+		if done {
+			break
+		}
+	}
+	if err := enrollment.Finish(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrolled %q from deliberate touches (%d rejected at the quality gate)\n",
+		module.EnrolledNames()[0], enrollment.Rejected())
+	phone, err := trust.NewLocalDevice(module, trust.DefaultLocalPolicy(), world.Place.Sensors[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate 150 natural touches (taps, swipes, pinches) and play
+	// them through the device. Every touch is an opportunistic
+	// authentication attempt — no passwords, no explicit logins.
+	session, err := trust.GenerateSession(owner.Model, world.Screen, 150, trust.NewRNG(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := trust.RunLocalSession(phone, session, owner.Finger, nil, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := report.Stats
+	fmt.Printf("\nsession: %d touches over %v\n", report.Touches, report.Duration.Round(time.Second))
+	fmt.Printf("  landed outside sensors: %d\n", st.OutsideSensor)
+	fmt.Printf("  discarded at quality gate: %d\n", st.LowQuality)
+	fmt.Printf("  verified against template: %d\n", st.Matched)
+	fmt.Printf("  confirmed mismatches: %d\n", st.Mismatched)
+	fmt.Printf("verified-capture rate: %.1f%% — continuous protection with zero user effort\n",
+		report.CaptureRate()*100)
+	fmt.Printf("device locked by risk engine: %v\n", report.Locked)
+
+	fmt.Println("\nidentity-risk trace (first 15 touches):")
+	for i, p := range report.Trace {
+		if i >= 15 {
+			break
+		}
+		fmt.Printf("  touch %2d  %-15s risk %.2f\n", p.Touch, p.Outcome, p.Risk)
+	}
+}

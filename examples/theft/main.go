@@ -1,0 +1,139 @@
+// Theft: the paper's loss/recovery story. A phone is stolen mid-use:
+// the impostor's touches fail continuous authentication, the device
+// locks, and the server revokes the session. The owner then resets her
+// identity at the server with her recovery password and — having bought
+// a new phone — transfers her identity from a backup device, encrypted
+// to the new device's built-in key (Sec IV-B Identity Reset/Transfer).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trust"
+	"trust/internal/fingerprint"
+	"trust/internal/flock"
+)
+
+func main() {
+	world, err := trust.NewWorld(77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bank, err := world.AddServer("bank.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const user = "user3-index-finger"
+	phone, err := world.AddDevice("stolen-phone", user, "bank.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Owner registers and logs in.
+	now, err := world.TouchButtonUntilVerified(phone, user, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := phone.Register(now, "carol", "carols-recovery-pw"); err != nil {
+		log.Fatal(err)
+	}
+	now, err = world.TouchButtonUntilVerified(phone, user, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := phone.Login(now, bank.Certificate(), "carol"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1. carol registered and logged in at bank.example")
+
+	// --- Theft: the impostor uses the phone.
+	thief := trust.SynthesizeFinger(666, trust.Whorl)
+	for i := 0; i < 15; i++ {
+		ev := trust.TouchEvent{
+			At:  now,
+			Pos: world.Place.Sensors[0].Center(),
+			// Natural-looking touches — but the wrong fingerprint.
+			Pressure: 0.7, RadiusMM: 4.2, SpeedMMS: 1,
+		}
+		phone.Touch(ev, thief)
+		now += 400 * 1e6 // 400 ms
+	}
+	verified, window := phone.Module.RiskFactor(12)
+	fmt.Printf("2. phone stolen: last %d touches carry %d verifications\n", window, verified)
+
+	// The thief's transfer request dies at the server's risk policy.
+	if err := phone.Browse(now, "confirm-transfer"); err != nil {
+		fmt.Printf("3. thief's transfer rejected: %v\n", err)
+	} else {
+		log.Fatal("thief's transfer was accepted!")
+	}
+	if bank.SessionAlive(phone.Session().ID) {
+		log.Fatal("session should be revoked")
+	}
+	fmt.Println("   session revoked by the bank")
+
+	// --- Recovery: identity reset with the fallback password.
+	if err := bank.ResetIdentity("carol", "wrong-guess"); err == nil {
+		log.Fatal("reset with wrong password accepted")
+	}
+	if err := bank.ResetIdentity("carol", "carols-recovery-pw"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("4. carol reset her identity at the bank (old device key unbound)")
+
+	// --- New phone: re-register...
+	newPhone, err := world.AddDevice("new-phone", user, "bank.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	now, err = world.TouchButtonUntilVerified(newPhone, user, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := newPhone.Register(now, "carol", "carols-recovery-pw"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("5. new phone re-registered carol with a fresh key pair")
+
+	// --- Identity transfer: carol also had a backup tablet with other
+	// service bindings; she moves that identity to the new phone.
+	backup, err := flock.New(flock.DefaultConfig(world.Place), world.CA, "backup-tablet", 999)
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner := world.Users[user]
+	if err := backup.Enroll(fingerprint.NewTemplate(owner.Finger)); err != nil {
+		log.Fatal(err)
+	}
+	serverCert := bank.Certificate()
+	if _, err := backup.NewServiceKeys("mail.example", "carol-mail", serverCert.Key()); err != nil {
+		log.Fatal(err)
+	}
+	// The transfer must be authorized by carol's fingerprint on the
+	// source device. Successive touches land on slightly different
+	// parts of the fingertip, as real touches do.
+	rng := trust.NewRNG(5)
+	for i := 0; i < 50; i++ {
+		ev := trust.TouchEvent{
+			At: now, Pos: world.Place.Sensors[0].Center(),
+			Pressure: 0.7, RadiusMM: 4.2, SpeedMMS: 1,
+			FingerOffsetMM: trust.Point{X: rng.Normal(0, 1.2), Y: rng.Normal(0, 1.5)},
+		}
+		out := backup.HandleTouch(ev, owner.Finger)
+		now += 400 * 1e6
+		if out.Kind == flock.Matched {
+			break
+		}
+	}
+	blob, err := backup.ExportIdentity(now, newPhone.Module.DeviceCert())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := newPhone.Module.ImportIdentity(blob); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("6. identity transferred from backup tablet: new phone now holds bindings for %v\n",
+		newPhone.Module.Domains())
+	fmt.Println("\nrecovery complete: the thief got nothing, carol kept everything")
+}

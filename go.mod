@@ -1,0 +1,3 @@
+module trust
+
+go 1.22

@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"trust/internal/sim"
+)
+
+func TestPasswordEntrySlow(t *testing.T) {
+	rng := sim.NewRNG(1)
+	m := DefaultPasswordModel()
+	var total time.Duration
+	const n = 1000
+	for i := 0; i < n; i++ {
+		total += m.EntryTime(rng)
+	}
+	mean := total / n
+	if mean < 2*time.Second || mean > 8*time.Second {
+		t.Fatalf("password entry mean %v outside plausible band", mean)
+	}
+}
+
+func TestGuessingSuccessMatchesCitation(t *testing.T) {
+	m := DefaultPasswordModel()
+	if got := m.GuessingSuccess(1000); got != 0.91 {
+		t.Fatalf("1000-guess success = %v, want 0.91 (citation [1])", got)
+	}
+	if got := m.GuessingSuccess(2000); got != 0.91 {
+		t.Fatalf("beyond-list success = %v", got)
+	}
+	if m.GuessingSuccess(0) != 0 {
+		t.Fatal("zero budget should never succeed")
+	}
+	if a, b := m.GuessingSuccess(100), m.GuessingSuccess(500); a >= b {
+		t.Fatalf("guessing success not monotone: %v vs %v", a, b)
+	}
+}
+
+func TestSwipeEntrySecondsScale(t *testing.T) {
+	rng := sim.NewRNG(2)
+	m := DefaultSwipeSensorModel()
+	var total time.Duration
+	const n = 1000
+	for i := 0; i < n; i++ {
+		total += m.EntryTime(rng)
+	}
+	mean := total / n
+	if mean < time.Second || mean > 5*time.Second {
+		t.Fatalf("swipe login mean %v outside 'few seconds'", mean)
+	}
+}
+
+func TestCompareTableIShape(t *testing.T) {
+	rows := Compare(200, 0.45, 20*time.Millisecond, 3)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	pw, sw, in := rows[0], rows[1], rows[2]
+
+	// Table I row: continuous user verification.
+	if pw.ContinuousVerification || sw.ContinuousVerification || !in.ContinuousVerification {
+		t.Fatal("continuous-verification column wrong")
+	}
+	// Table I row: login speed — integrated is instant, swipe is
+	// seconds, password slowest in expectation.
+	if in.MeanLoginTime >= sw.MeanLoginTime || sw.MeanLoginTime >= pw.MeanLoginTime {
+		t.Fatalf("login speed ordering wrong: %v / %v / %v", in.MeanLoginTime, sw.MeanLoginTime, pw.MeanLoginTime)
+	}
+	if in.MeanLoginTime > 100*time.Millisecond {
+		t.Fatalf("integrated login %v not 'instant'", in.MeanLoginTime)
+	}
+	// Table I row: transparency.
+	if pw.Transparent || sw.Transparent || !in.Transparent {
+		t.Fatal("transparency column wrong")
+	}
+	// Quantified security deltas.
+	if pw.GuessingSuccess < 0.9 {
+		t.Fatalf("password guessing success %v", pw.GuessingSuccess)
+	}
+	if in.PostLoginCoverage <= 0 || sw.PostLoginCoverage != 0 {
+		t.Fatal("post-login coverage wrong")
+	}
+	if in.ExtraUserActions != 0 {
+		t.Fatal("integrated scheme should need no extra actions")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for _, s := range []Scheme{Password, SeparateSensor, IntegratedTouch} {
+		if s.String() == "" {
+			t.Errorf("scheme %d empty", int(s))
+		}
+	}
+}

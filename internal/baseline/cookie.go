@@ -1,0 +1,45 @@
+package baseline
+
+import (
+	"time"
+
+	"trust/internal/sim"
+)
+
+// CookieSessionModel is the conventional web-session baseline the
+// paper's security analysis contrasts with: after login the server
+// trusts a bearer cookie until it expires. An attacker who exfiltrates
+// the cookie (XSS, malware, network) owns the session for the rest of
+// its lifetime.
+type CookieSessionModel struct {
+	// Expiry is the idle/absolute session lifetime.
+	Expiry time.Duration
+	// RequestRate is how fast an attacker issues requests once they
+	// hold the cookie.
+	RequestRate float64 // requests per second
+}
+
+// DefaultCookieSession uses a typical 30-minute web session.
+func DefaultCookieSession() CookieSessionModel {
+	return CookieSessionModel{Expiry: 30 * time.Minute, RequestRate: 2}
+}
+
+// HijackOutcome quantifies one theft-of-credential incident.
+type HijackOutcome struct {
+	// Window is how long stolen credentials keep working.
+	Window time.Duration
+	// AttackerRequests is how many requests the attacker lands before
+	// the session stops honouring them.
+	AttackerRequests int
+}
+
+// Hijack simulates stealing the cookie at a uniformly random point of
+// the session lifetime: the remaining validity is the attacker's
+// window.
+func (m CookieSessionModel) Hijack(rng *sim.RNG) HijackOutcome {
+	remaining := time.Duration(rng.Float64() * float64(m.Expiry))
+	return HijackOutcome{
+		Window:           remaining,
+		AttackerRequests: int(remaining.Seconds() * m.RequestRate),
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"trust/internal/flock"
+)
+
+func BenchmarkRiskEngineObserve(b *testing.B) {
+	eng, err := NewRiskEngine(DefaultLocalPolicy())
+	if err != nil {
+		b.Fatal(err)
+	}
+	kinds := []flock.OutcomeKind{
+		flock.Matched, flock.OutsideSensor, flock.OutsideSensor,
+		flock.LowQuality, flock.Matched, flock.OutsideSensor,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Observe(kinds[i%len(kinds)])
+	}
+}
+
+func BenchmarkNewWorld(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewWorld(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"trust/internal/fingerprint"
+	"trust/internal/sim"
+	"trust/internal/touch"
+)
+
+// RunLocalSessionOnClock plays a session through a LocalDevice as a
+// discrete-event simulation on the provided virtual clock: the unlock
+// retries and every touch are scheduled at their virtual timestamps,
+// and a LockDevice response halts the event loop. It produces the same
+// report as RunLocalSession; use this variant when composing the local
+// scenario with other clock-driven activity (periodic server syncs,
+// background energy accounting, multi-device co-simulation).
+func RunLocalSessionOnClock(clock *sim.Clock, d *LocalDevice, s *touch.Session, owner, impostor *fingerprint.Finger, impostorStart int) (SessionReport, error) {
+	if clock == nil {
+		return SessionReport{}, errors.New("core: nil clock")
+	}
+	report := SessionReport{User: s.User.Name, ImpostorStart: impostorStart, DetectionTouches: -1}
+	var runErr error
+
+	// Unlock phase: schedule retries every 300 ms until unlocked.
+	unlockPos := d.unlockButton.Center()
+	var sessionStart time.Duration
+	var scheduleTouches func()
+	var scheduleUnlock func(attempt int)
+	scheduleUnlock = func(attempt int) {
+		clock.At(time.Duration(attempt)*300*time.Millisecond, func() {
+			if attempt > 50 {
+				runErr = errors.New("core: owner failed to unlock in 50 attempts")
+				clock.Halt()
+				return
+			}
+			ev := touch.Event{At: clock.Now(), Pos: unlockPos, Pressure: 0.7, RadiusMM: 4.2, SpeedMMS: 1}
+			if _, err := d.Unlock(ev, owner); err != nil {
+				runErr = err
+				clock.Halt()
+				return
+			}
+			if d.Locked() {
+				scheduleUnlock(attempt + 1)
+				return
+			}
+			sessionStart = clock.Now() + 300*time.Millisecond
+			scheduleTouches()
+		})
+	}
+
+	// Touch phase: every event at its own virtual instant.
+	scheduleTouches = func() {
+		for i, ev := range s.Events {
+			i, ev := i, ev
+			clock.At(sessionStart+ev.At, func() {
+				finger := owner
+				if impostorStart >= 0 && i >= impostorStart {
+					finger = impostor
+				}
+				ev.At = clock.Now()
+				out, dec, err := d.OnTouch(ev, finger)
+				if err != nil {
+					// Device locked by an earlier event; drop the touch.
+					return
+				}
+				report.Touches++
+				report.Trace = append(report.Trace, RiskTracePoint{
+					Touch: i, At: ev.At, Outcome: out.Kind, Risk: dec.Risk,
+					Action: dec.Action, Verified: dec.Verified, Window: dec.Window,
+				})
+				if impostorStart >= 0 && i >= impostorStart && report.DetectionTouches < 0 &&
+					(dec.Action == LockDevice || dec.Action == HaltInteraction) {
+					report.DetectionTouches = i - impostorStart + 1
+				}
+				if dec.Action == LockDevice {
+					clock.Halt()
+				}
+			})
+		}
+	}
+
+	scheduleUnlock(0)
+	clock.Run()
+
+	report.Stats = d.Module.Stats()
+	report.Locked = d.Locked()
+	report.LockEvents = d.LockEvents()
+	report.HaltEvents = d.HaltEvents()
+	report.Duration = s.Duration()
+	return report, runErr
+}

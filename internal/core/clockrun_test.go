@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"trust/internal/geom"
+	"trust/internal/sim"
+	"trust/internal/touch"
+)
+
+func TestClockRunMatchesDirectRun(t *testing.T) {
+	// The event-driven runner and the direct runner must produce the
+	// same outcome stream given identical devices and sessions.
+	mkSession := func(seed uint64) *touch.Session {
+		rng := sim.NewRNG(seed)
+		s, err := touch.GenerateSession(touch.ReferenceUsers()[0], geom.RectWH(0, 0, 480, 800), 200, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	ldA, ownerA, _ := localRig(t, DefaultLocalPolicy())
+	repA, err := RunLocalSession(ldA, mkSession(5), ownerA, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ldB, ownerB, _ := localRig(t, DefaultLocalPolicy())
+	clock := sim.NewClock()
+	repB, err := RunLocalSessionOnClock(clock, ldB, mkSession(5), ownerB, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if repA.Touches != repB.Touches {
+		t.Fatalf("touch counts differ: %d vs %d", repA.Touches, repB.Touches)
+	}
+	if repA.Stats.Matched != repB.Stats.Matched ||
+		repA.Stats.Mismatched != repB.Stats.Mismatched ||
+		repA.Stats.OutsideSensor != repB.Stats.OutsideSensor ||
+		repA.Stats.LowQuality != repB.Stats.LowQuality {
+		t.Fatalf("stats differ:\n direct %+v\n clock  %+v", repA.Stats, repB.Stats)
+	}
+	if repA.Locked != repB.Locked {
+		t.Fatalf("lock state differs: %v vs %v", repA.Locked, repB.Locked)
+	}
+	if clock.Fired() == 0 {
+		t.Fatal("clock run fired no events")
+	}
+}
+
+func TestClockRunTheftHaltsEventLoop(t *testing.T) {
+	ld, owner, impostor := localRig(t, DefaultLocalPolicy())
+	rng := sim.NewRNG(6)
+	s, err := touch.GenerateSession(touch.ReferenceUsers()[0], geom.RectWH(0, 0, 480, 800), 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := sim.NewClock()
+	rep, err := RunLocalSessionOnClock(clock, ld, s, owner, impostor, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetectionTouches < 0 {
+		t.Fatal("impostor never detected on clock runner")
+	}
+	if rep.Locked && !clock.Halted() {
+		t.Fatal("lock did not halt the clock")
+	}
+}
+
+func TestClockRunNilClock(t *testing.T) {
+	ld, owner, _ := localRig(t, DefaultLocalPolicy())
+	rng := sim.NewRNG(7)
+	s, _ := touch.GenerateSession(touch.ReferenceUsers()[0], geom.RectWH(0, 0, 480, 800), 10, rng)
+	if _, err := RunLocalSessionOnClock(nil, ld, s, owner, nil, -1); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"trust/internal/fingerprint"
+	"trust/internal/flock"
+	"trust/internal/geom"
+	"trust/internal/pki"
+	"trust/internal/placement"
+	"trust/internal/sim"
+	"trust/internal/touch"
+)
+
+func TestLocalPolicyValidate(t *testing.T) {
+	if err := DefaultLocalPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []LocalPolicy{
+		{Window: 0, MinVerified: 1, MaxMismatches: 1},
+		{Window: 5, MinVerified: 6, MaxMismatches: 1},
+		{Window: 5, MinVerified: 1, MaxMismatches: 0},
+		{Window: 5, MinVerified: -1, MaxMismatches: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d validated", i)
+		}
+	}
+	if _, err := NewRiskEngine(bad[0]); err == nil {
+		t.Error("engine accepted invalid policy")
+	}
+}
+
+func TestRiskEngineLocksOnMismatches(t *testing.T) {
+	eng, err := NewRiskEngine(LocalPolicy{Window: 10, MinVerified: 1, MaxMismatches: 2, Grace: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := eng.Observe(flock.Mismatched); d.Action == LockDevice {
+		t.Fatal("locked on first mismatch with MaxMismatches=2")
+	}
+	if d := eng.Observe(flock.Mismatched); d.Action != LockDevice {
+		t.Fatalf("second mismatch action = %v", d.Action)
+	}
+}
+
+func TestRiskEngineHaltsOnStarvation(t *testing.T) {
+	eng, _ := NewRiskEngine(LocalPolicy{Window: 5, MinVerified: 1, MaxMismatches: 3, Grace: 5})
+	var last Decision
+	for i := 0; i < 5; i++ {
+		last = eng.Observe(flock.OutsideSensor)
+	}
+	if last.Action != HaltInteraction {
+		t.Fatalf("5 unverified touches action = %v", last.Action)
+	}
+	if last.Risk != 1 {
+		t.Fatalf("risk = %v, want 1", last.Risk)
+	}
+	// A verified touch clears the starvation.
+	if d := eng.Observe(flock.Matched); d.Action != NoAction {
+		t.Fatalf("after match action = %v", d.Action)
+	}
+}
+
+func TestRiskEngineGracePeriod(t *testing.T) {
+	eng, _ := NewRiskEngine(LocalPolicy{Window: 10, MinVerified: 2, MaxMismatches: 3, Grace: 10})
+	for i := 0; i < 9; i++ {
+		if d := eng.Observe(flock.OutsideSensor); d.Action != NoAction {
+			t.Fatalf("action %v during grace at touch %d", d.Action, i+1)
+		}
+	}
+	if d := eng.Observe(flock.OutsideSensor); d.Action != HaltInteraction {
+		t.Fatalf("post-grace action = %v", d.Action)
+	}
+}
+
+func TestRiskEngineReset(t *testing.T) {
+	eng, _ := NewRiskEngine(LocalPolicy{Window: 5, MinVerified: 1, MaxMismatches: 1, Grace: 0})
+	eng.Observe(flock.Mismatched)
+	eng.Reset()
+	if d := eng.Observe(flock.Matched); d.Action != NoAction || d.Window != 1 {
+		t.Fatalf("post-reset decision %+v", d)
+	}
+}
+
+func TestRiskDecreasesWithVerification(t *testing.T) {
+	eng, _ := NewRiskEngine(DefaultLocalPolicy())
+	d1 := eng.Observe(flock.OutsideSensor)
+	d2 := eng.Observe(flock.Matched)
+	if d2.Risk >= d1.Risk {
+		t.Fatalf("risk did not drop after match: %v -> %v", d1.Risk, d2.Risk)
+	}
+}
+
+// localRig builds a LocalDevice with an enrolled owner.
+func localRig(t *testing.T, policy LocalPolicy) (*LocalDevice, *fingerprint.Finger, *fingerprint.Finger) {
+	t.Helper()
+	ca, err := pki.NewCA("trust-root", pki.NewDeterministicRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := placement.Placement{Sensors: []geom.Rect{
+		geom.RectWH(180, 660, 120, 120),
+		geom.RectWH(180, 340, 120, 120),
+	}}
+	mod, err := flock.New(flock.DefaultConfig(pl), ca, "dev", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := fingerprint.Synthesize(4242, fingerprint.Loop)
+	impostor := fingerprint.Synthesize(31337, fingerprint.Whorl)
+	if err := mod.Enroll(fingerprint.NewTemplate(owner)); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := NewLocalDevice(mod, policy, pl.Sensors[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ld, owner, impostor
+}
+
+func TestUnlockFlow(t *testing.T) {
+	ld, owner, impostor := localRig(t, DefaultLocalPolicy())
+	if !ld.Locked() {
+		t.Fatal("device not locked at start")
+	}
+	// Touch off the unlock button: rejected outright.
+	off := touch.Event{Pos: geom.Point{X: 10, Y: 10}, Pressure: 0.7, RadiusMM: 4.2}
+	if _, err := ld.Unlock(off, owner); err == nil {
+		t.Fatal("off-button unlock accepted")
+	}
+	// Impostor on the button: device stays locked.
+	on := touch.Event{Pos: geom.Point{X: 240, Y: 720}, Pressure: 0.7, RadiusMM: 4.2, SpeedMMS: 1}
+	for i := 0; i < 10; i++ {
+		on.At = time.Duration(i) * time.Second
+		ld.Unlock(on, impostor)
+	}
+	if !ld.Locked() {
+		t.Fatal("impostor unlocked the device")
+	}
+	// Owner unlocks within a few attempts.
+	for i := 10; i < 40 && ld.Locked(); i++ {
+		on.At = time.Duration(i) * time.Second
+		ld.Unlock(on, owner)
+	}
+	if ld.Locked() {
+		t.Fatal("owner failed to unlock")
+	}
+	// Unlocking an unlocked device errors.
+	if _, err := ld.Unlock(on, owner); err == nil {
+		t.Fatal("double unlock accepted")
+	}
+}
+
+func TestOwnerSessionStaysUnlocked(t *testing.T) {
+	ld, owner, _ := localRig(t, DefaultLocalPolicy())
+	rng := sim.NewRNG(77)
+	s, err := touch.GenerateSession(touch.ReferenceUsers()[0], geom.RectWH(0, 0, 480, 800), 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunLocalSession(ld, s, owner, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Locked {
+		t.Fatalf("owner session locked the device (lock events %d)", report.LockEvents)
+	}
+	if report.Touches != 300 {
+		t.Fatalf("session ran %d touches, want 300", report.Touches)
+	}
+	// The fixed two-sensor test placement covers ~8% of the screen;
+	// even so the verified-capture rate must stay meaningfully positive.
+	if report.CaptureRate() < 0.05 {
+		t.Fatalf("capture rate %.3f implausibly low", report.CaptureRate())
+	}
+	if len(report.Trace) != report.Touches {
+		t.Fatalf("trace length %d != touches %d", len(report.Trace), report.Touches)
+	}
+}
+
+func TestTheftDetectedQuickly(t *testing.T) {
+	ld, owner, impostor := localRig(t, DefaultLocalPolicy())
+	rng := sim.NewRNG(88)
+	s, err := touch.GenerateSession(touch.ReferenceUsers()[0], geom.RectWH(0, 0, 480, 800), 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunLocalSession(ld, s, owner, impostor, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.DetectionTouches < 0 {
+		t.Fatal("impostor never detected")
+	}
+	if report.DetectionTouches > 30 {
+		t.Fatalf("detection took %d impostor touches", report.DetectionTouches)
+	}
+}
+
+func TestWorldEndToEnd(t *testing.T) {
+	w, err := NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Users) != 3 {
+		t.Fatalf("world has %d users", len(w.Users))
+	}
+	if len(w.Place.Sensors) == 0 {
+		t.Fatal("world placed no sensors")
+	}
+	srv, err := w.AddServer("bank.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddServer("bank.example"); err == nil {
+		t.Fatal("duplicate server accepted")
+	}
+	dev, err := w.AddDevice("phone-1", "user1-right-thumb", "bank.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddDevice("x", "ghost", "bank.example"); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	if _, err := w.AddDevice("x", "user1-right-thumb", "ghost"); err == nil {
+		t.Fatal("unknown server accepted")
+	}
+
+	now, err := w.TouchButtonUntilVerified(dev, "user1-right-thumb", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Register(now, "acct-1", "recovery"); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	now, err = w.TouchButtonUntilVerified(dev, "user1-right-thumb", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Login(now, srv.Certificate(), "acct-1"); err != nil {
+		t.Fatalf("login: %v", err)
+	}
+	// Natural touches, then a request.
+	now, err = w.DriveTouches(dev, "user1-right-thumb", 30, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err = w.TouchButtonUntilVerified(dev, "user1-right-thumb", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Browse(now, "view-statement"); err != nil {
+		t.Fatalf("browse: %v", err)
+	}
+	if srv.RunAudit().Tampered != 0 {
+		t.Fatal("honest world session flagged")
+	}
+}
+
+func TestResponseActionStrings(t *testing.T) {
+	for _, a := range []ResponseAction{NoAction, HaltInteraction, LockDevice} {
+		if a.String() == "" {
+			t.Errorf("action %d empty", int(a))
+		}
+	}
+}

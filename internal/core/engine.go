@@ -1,0 +1,159 @@
+// Package core is the paper's primary contribution assembled into a
+// usable system: TRUST — continuous, transparent identity management on
+// top of the FLock hardware. It provides the local identity manager
+// (the k-of-n windowed risk engine with pre-defined responses of
+// Sec IV-A), the lock/unlock flow, and a World builder wiring devices,
+// users, a CA, and web servers into the full remote scenario of Fig 8.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"trust/internal/flock"
+)
+
+// ResponseAction is a pre-defined response to rising identity risk
+// (Sec IV-A: "halting interactions with the user, logging out
+// automatically, etc.").
+type ResponseAction int
+
+// Actions ordered by severity.
+const (
+	NoAction ResponseAction = iota
+	// HaltInteraction pauses input handling until a verified touch.
+	HaltInteraction
+	// LockDevice locks the device; only the unlock flow can recover.
+	LockDevice
+)
+
+func (a ResponseAction) String() string {
+	switch a {
+	case NoAction:
+		return "none"
+	case HaltInteraction:
+		return "halt-interaction"
+	case LockDevice:
+		return "lock-device"
+	default:
+		return fmt.Sprintf("ResponseAction(%d)", int(a))
+	}
+}
+
+// LocalPolicy is the window-based touch authentication mechanism of
+// Sec IV-A: at least MinVerified of the last Window touches must carry
+// a verified fingerprint, and MaxMismatches *consecutive* confirmed
+// mismatches lock the device. Consecutive (rather than windowed)
+// mismatch counting makes the lock robust to the matcher's residual
+// false-reject rate: a genuine user interleaves matches that reset the
+// streak, while an impostor's definitive captures are all mismatches.
+type LocalPolicy struct {
+	Window        int
+	MinVerified   int
+	MaxMismatches int // consecutive confirmed mismatches that lock
+	// Grace is how many touches a fresh session may accumulate before
+	// the MinVerified requirement applies (the window must fill first).
+	Grace int
+}
+
+// DefaultLocalPolicy tolerates the ~50% opportunistic capture rate of
+// optimized placement while catching impostors within a handful of
+// touches: 3 consecutive confirmed mismatches lock, and a window with
+// <2 verifications halts.
+func DefaultLocalPolicy() LocalPolicy {
+	return LocalPolicy{Window: 12, MinVerified: 2, MaxMismatches: 3, Grace: 12}
+}
+
+// Validate reports a descriptive error for an unusable policy.
+func (p LocalPolicy) Validate() error {
+	if p.Window <= 0 || p.MinVerified < 0 || p.MaxMismatches < 1 || p.Grace < 0 {
+		return fmt.Errorf("core: invalid policy %+v", p)
+	}
+	if p.MinVerified > p.Window {
+		return fmt.Errorf("core: MinVerified %d exceeds Window %d", p.MinVerified, p.Window)
+	}
+	return nil
+}
+
+// Decision is the engine's verdict after one touch.
+type Decision struct {
+	Action   ResponseAction
+	Risk     float64 // identity risk in [0,1]: 1 - verified/window
+	Verified int     // verified touches in the current window
+	Window   int     // touches currently in the window
+	Reason   string
+}
+
+// RiskEngine maintains the sliding outcome window and issues responses.
+type RiskEngine struct {
+	policy         LocalPolicy
+	history        []flock.OutcomeKind
+	total          int
+	mismatchStreak int
+}
+
+// NewRiskEngine builds an engine; the policy must validate.
+func NewRiskEngine(p LocalPolicy) (*RiskEngine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &RiskEngine{policy: p}, nil
+}
+
+// Reset clears the window (after unlock or user switch).
+func (e *RiskEngine) Reset() {
+	e.history = e.history[:0]
+	e.total = 0
+	e.mismatchStreak = 0
+}
+
+// Observe folds one touch outcome into the window and returns the
+// decision.
+func (e *RiskEngine) Observe(kind flock.OutcomeKind) Decision {
+	e.total++
+	e.history = append(e.history, kind)
+	if len(e.history) > e.policy.Window {
+		e.history = e.history[len(e.history)-e.policy.Window:]
+	}
+	switch kind {
+	case flock.Matched:
+		e.mismatchStreak = 0
+	case flock.Mismatched:
+		e.mismatchStreak++
+		// OutsideSensor / LowQuality / NotSensed are not definitive and
+		// leave the streak alone.
+	}
+	verified := 0
+	for _, k := range e.history {
+		if k == flock.Matched {
+			verified++
+		}
+	}
+	d := Decision{
+		Verified: verified,
+		Window:   len(e.history),
+		Risk:     1 - float64(verified)/float64(len(e.history)),
+	}
+	switch {
+	case e.mismatchStreak >= e.policy.MaxMismatches:
+		d.Action = LockDevice
+		d.Reason = fmt.Sprintf("%d consecutive confirmed mismatches", e.mismatchStreak)
+	case e.total >= e.policy.Grace && verified < e.policy.MinVerified:
+		d.Action = HaltInteraction
+		d.Reason = fmt.Sprintf("only %d of last %d touches verified", verified, len(e.history))
+	default:
+		d.Action = NoAction
+	}
+	return d
+}
+
+// RiskTracePoint is one sample of the session risk trajectory.
+type RiskTracePoint struct {
+	Touch    int
+	At       time.Duration
+	Outcome  flock.OutcomeKind
+	Risk     float64
+	Action   ResponseAction
+	Verified int
+	Window   int
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"trust/internal/device"
+	"trust/internal/fingerprint"
+	"trust/internal/flock"
+	"trust/internal/geom"
+	"trust/internal/pki"
+	"trust/internal/placement"
+	"trust/internal/sim"
+	"trust/internal/touch"
+	"trust/internal/touchscreen"
+	"trust/internal/webserver"
+)
+
+// User couples a behaviour model with a fingertip.
+type User struct {
+	Model  touch.UserModel
+	Finger *fingerprint.Finger
+}
+
+// World is the full remote scenario of Fig 8: one CA, any number of
+// TRUST-enabled web servers, and devices (each with a FLock module and
+// an enrolled owner).
+type World struct {
+	CA      *pki.CA
+	Servers map[string]*webserver.Server
+	Devices map[string]*device.Device
+	Users   map[string]*User
+	Screen  geom.Rect
+	Place   placement.Placement
+	rng     *sim.RNG
+	seed    uint64
+}
+
+// NewWorld builds the scenario scaffolding: CA, the three reference
+// users, and a sensor placement optimized on their combined touch
+// density (the paper's design flow).
+func NewWorld(seed uint64) (*World, error) {
+	ca, err := pki.NewCA("trust-root", pki.NewDeterministicRand(seed))
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		CA:      ca,
+		Servers: make(map[string]*webserver.Server),
+		Devices: make(map[string]*device.Device),
+		Users:   make(map[string]*User),
+		Screen:  touchscreen.DefaultConfig().BoundsPX(),
+		rng:     sim.NewRNG(seed ^ 0x3091d),
+		seed:    seed,
+	}
+
+	// Users: the Fig 7 reference models, each with their own finger.
+	density := touch.NewDensityGrid(w.Screen, 24, 40)
+	for _, m := range touch.ReferenceUsers() {
+		u := &User{
+			Model:  m,
+			Finger: fingerprint.Synthesize(m.FingerSeed, fingerprint.PatternType(m.FingerSeed%3)),
+		}
+		w.Users[m.Name] = u
+		s, err := touch.GenerateSession(m, w.Screen, 1500, w.rng.Fork(m.FingerSeed))
+		if err != nil {
+			return nil, err
+		}
+		density.AddSession(s)
+	}
+
+	// Placement: greedy coverage with 8 FLock patches.
+	pl, err := placement.Optimize(density, placement.Options{
+		SensorWPX: 72, SensorHPX: 72, MaxSensors: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.Place = pl
+	return w, nil
+}
+
+// AddServer creates a TRUST web server for the domain.
+func (w *World) AddServer(domain string) (*webserver.Server, error) {
+	if _, ok := w.Servers[domain]; ok {
+		return nil, fmt.Errorf("core: server %q exists", domain)
+	}
+	srv, err := webserver.New(domain, w.CA, w.rng.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	w.Servers[domain] = srv
+	return srv, nil
+}
+
+// AddDevice creates a FLock device for a user, enrolled with that
+// user's finger, connected in-memory to the given server.
+func (w *World) AddDevice(name, userName, serverDomain string) (*device.Device, error) {
+	u, ok := w.Users[userName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown user %q", userName)
+	}
+	srv, ok := w.Servers[serverDomain]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown server %q", serverDomain)
+	}
+	mod, err := flock.New(flock.DefaultConfig(w.Place), w.CA, name, w.rng.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	if err := mod.Enroll(fingerprint.NewTemplate(u.Finger)); err != nil {
+		return nil, err
+	}
+	dev := device.New(name, mod, &device.InMemory{Server: srv})
+	w.Devices[name] = dev
+	return dev, nil
+}
+
+// DriveTouches plays n natural touches of the user through the device
+// module, starting at start and spacing touches by the user model's
+// think time. It returns the end time.
+func (w *World) DriveTouches(dev *device.Device, userName string, n int, start time.Duration) (time.Duration, error) {
+	u, ok := w.Users[userName]
+	if !ok {
+		return start, fmt.Errorf("core: unknown user %q", userName)
+	}
+	s, err := touch.GenerateSession(u.Model, w.Screen, n, w.rng.Fork(uint64(n)^uint64(start)))
+	if err != nil {
+		return start, err
+	}
+	var end time.Duration
+	for _, ev := range s.Events {
+		ev.At += start
+		dev.Touch(ev, u.Finger)
+		end = ev.At + ev.DwellTime
+	}
+	return end, nil
+}
+
+// TouchButtonUntilVerified drives deliberate taps on the placed sensor
+// region until the module verifies one — the explicit button-touch the
+// registration and login flows require. Returns the time after the
+// verified touch.
+func (w *World) TouchButtonUntilVerified(dev *device.Device, userName string, start time.Duration) (time.Duration, error) {
+	u, ok := w.Users[userName]
+	if !ok {
+		return start, fmt.Errorf("core: unknown user %q", userName)
+	}
+	if len(w.Place.Sensors) == 0 {
+		return start, fmt.Errorf("core: no sensors placed")
+	}
+	pos := w.Place.Sensors[0].Center()
+	now := start
+	for attempt := 0; attempt < 50; attempt++ {
+		ev := touch.Event{
+			At: now, Pos: pos,
+			Pressure: 0.7, RadiusMM: 4.2, SpeedMMS: 1,
+			FingerRotation: w.rng.Normal(0, 0.15),
+			FingerOffsetMM: geom.Point{X: w.rng.Normal(0, 1.0), Y: w.rng.Normal(0, 1.2)},
+		}
+		out := dev.Touch(ev, u.Finger)
+		now += 400 * time.Millisecond
+		if out.Kind == flock.Matched {
+			return now, nil
+		}
+	}
+	return now, fmt.Errorf("core: user %q failed to verify on the button in 50 attempts", userName)
+}

@@ -1,0 +1,86 @@
+package device
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"trust/internal/protocol"
+)
+
+// Error-path coverage for the transports: a device facing a broken or
+// hostile server must fail cleanly, never panic or accept garbage.
+
+func TestHTTPTransportServerDown(t *testing.T) {
+	tr := &HTTP{BaseURL: "http://127.0.0.1:1", Client: http.DefaultClient}
+	if _, err := tr.FetchRegistrationPage(0); err == nil {
+		t.Fatal("unreachable server returned a page")
+	}
+	if _, err := tr.FetchLoginPage(0); err == nil {
+		t.Fatal("unreachable server returned a login page")
+	}
+	if _, err := tr.SubmitLogin(0, &protocol.LoginSubmit{}); err == nil {
+		t.Fatal("unreachable server accepted a login")
+	}
+	if _, err := tr.SubmitPageRequest(0, &protocol.PageRequest{}); err == nil {
+		t.Fatal("unreachable server accepted a request")
+	}
+	if _, err := tr.SubmitRegistration(0, &protocol.RegistrationSubmit{}, "pw"); err == nil {
+		t.Fatal("unreachable server accepted a registration")
+	}
+}
+
+func TestHTTPTransportGarbageResponses(t *testing.T) {
+	// A hostile server returning wrong-type or malformed bodies.
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{broken`))
+	}))
+	defer garbage.Close()
+	tr := &HTTP{BaseURL: garbage.URL, Client: garbage.Client()}
+	if _, err := tr.FetchRegistrationPage(0); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+
+	wrongBinary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A valid binary message of the WRONG type for every endpoint.
+		data, _ := protocol.EncodeBinary(&protocol.PageRequest{Domain: "d"})
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	}))
+	defer wrongBinary.Close()
+	tb := &HTTP{BaseURL: wrongBinary.URL, Client: wrongBinary.Client(), Binary: true}
+	if _, err := tb.FetchRegistrationPage(0); err == nil {
+		t.Fatal("wrong-type binary response accepted")
+	}
+	if _, err := tb.FetchLoginPage(0); err == nil {
+		t.Fatal("wrong-type binary login page accepted")
+	}
+
+	binGarbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write([]byte{0xde, 0xad})
+	}))
+	defer binGarbage.Close()
+	tg := &HTTP{BaseURL: binGarbage.URL, Client: binGarbage.Client(), Binary: true}
+	if _, err := tg.FetchLoginPage(0); err == nil {
+		t.Fatal("binary garbage accepted")
+	}
+}
+
+func TestAdoptSessionValidation(t *testing.T) {
+	fx := newFixture(t, nil)
+	if err := fx.dev.AdoptSession(nil, nil); err == nil {
+		t.Fatal("nil session adopted")
+	}
+	if err := fx.dev.AdoptSession(&protocol.Session{}, &protocol.ContentPage{}); err == nil {
+		t.Fatal("page-less content adopted")
+	}
+}
+
+func TestInjectRequestWithoutSession(t *testing.T) {
+	fx := newFixture(t, nil)
+	if err := fx.dev.InjectRequest(0, "x"); err == nil {
+		t.Fatal("injection without session succeeded")
+	}
+}

@@ -1,0 +1,164 @@
+package device
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"trust/internal/protocol"
+)
+
+// HTTP is the Transport implementation speaking to a webserver.Handler
+// over real sockets.
+type HTTP struct {
+	BaseURL string
+	Client  *http.Client
+	// Binary selects the compact binary codec (application/octet-
+	// stream) instead of JSON on every request and response.
+	Binary bool
+}
+
+const binaryMIME = "application/octet-stream"
+
+var _ Transport = (*HTTP)(nil)
+
+func (t *HTTP) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t *HTTP) get(path string, now time.Duration, out any) error {
+	u := fmt.Sprintf("%s%s?now=%d", t.BaseURL, path, int64(now))
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	if t.Binary {
+		req.Header.Set("Accept", binaryMIME)
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return t.decodeResponse(resp, out)
+}
+
+func (t *HTTP) post(path string, now time.Duration, extra url.Values, in, out any) error {
+	var body []byte
+	contentType := "application/json"
+	var err error
+	if t.Binary {
+		body, err = protocol.EncodeBinary(in)
+		contentType = binaryMIME
+	} else {
+		body, err = json.Marshal(in)
+	}
+	if err != nil {
+		return err
+	}
+	q := url.Values{"now": {fmt.Sprint(int64(now))}}
+	for k, vs := range extra {
+		q[k] = vs
+	}
+	u := fmt.Sprintf("%s%s?%s", t.BaseURL, path, q.Encode())
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if t.Binary {
+		req.Header.Set("Accept", binaryMIME)
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return t.decodeResponse(resp, out)
+}
+
+func (t *HTTP) decodeResponse(resp *http.Response, out any) error {
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("device: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	if resp.Header.Get("Content-Type") == binaryMIME {
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return err
+		}
+		msg, err := protocol.DecodeBinary(data)
+		if err != nil {
+			return err
+		}
+		switch d := out.(type) {
+		case *protocol.RegistrationPage:
+			if m, ok := msg.(*protocol.RegistrationPage); ok {
+				*d = *m
+				return nil
+			}
+		case *protocol.LoginPage:
+			if m, ok := msg.(*protocol.LoginPage); ok {
+				*d = *m
+				return nil
+			}
+		case *protocol.ContentPage:
+			if m, ok := msg.(*protocol.ContentPage); ok {
+				*d = *m
+				return nil
+			}
+		}
+		return fmt.Errorf("device: binary response has unexpected type %T", msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// FetchRegistrationPage implements Transport.
+func (t *HTTP) FetchRegistrationPage(now time.Duration) (*protocol.RegistrationPage, error) {
+	var page protocol.RegistrationPage
+	if err := t.get("/trust/register", now, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// SubmitRegistration implements Transport.
+func (t *HTTP) SubmitRegistration(now time.Duration, sub *protocol.RegistrationSubmit, recovery string) (protocol.RegistrationResult, error) {
+	var res protocol.RegistrationResult
+	err := t.post("/trust/register", now, url.Values{"recovery": {recovery}}, sub, &res)
+	return res, err
+}
+
+// FetchLoginPage implements Transport.
+func (t *HTTP) FetchLoginPage(now time.Duration) (*protocol.LoginPage, error) {
+	var page protocol.LoginPage
+	if err := t.get("/trust/login", now, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// SubmitLogin implements Transport.
+func (t *HTTP) SubmitLogin(now time.Duration, sub *protocol.LoginSubmit) (*protocol.ContentPage, error) {
+	var cp protocol.ContentPage
+	if err := t.post("/trust/login", now, nil, sub, &cp); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
+// SubmitPageRequest implements Transport.
+func (t *HTTP) SubmitPageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
+	var cp protocol.ContentPage
+	if err := t.post("/trust/page", now, nil, req, &cp); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}

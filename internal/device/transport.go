@@ -1,0 +1,72 @@
+package device
+
+import (
+	"time"
+
+	"trust/internal/protocol"
+	"trust/internal/webserver"
+)
+
+// InMemory is the direct-call transport used by simulations: zero
+// network cost, same message flow.
+type InMemory struct {
+	Server *webserver.Server
+	// Interceptor, when set, sees and may replace every outbound
+	// message — the man-in-the-middle position for the attack harness.
+	Interceptor *Interceptor
+}
+
+// Interceptor is a network-level adversary (paper assumption (iii):
+// "the Internet communication ... is untrusted").
+type Interceptor struct {
+	// OnLoginSubmit may return a replacement submission (or the
+	// original) — used for replay and tamper attacks.
+	OnLoginSubmit func(sub *protocol.LoginSubmit) *protocol.LoginSubmit
+	// OnPageRequest likewise.
+	OnPageRequest func(req *protocol.PageRequest) *protocol.PageRequest
+	// CapturedLogin and CapturedRequests record traffic for later
+	// replay.
+	CapturedLogin    *protocol.LoginSubmit
+	CapturedRequests []*protocol.PageRequest
+}
+
+var _ Transport = (*InMemory)(nil)
+
+// FetchRegistrationPage implements Transport.
+func (t *InMemory) FetchRegistrationPage(now time.Duration) (*protocol.RegistrationPage, error) {
+	return t.Server.ServeRegistrationPage(now), nil
+}
+
+// SubmitRegistration implements Transport.
+func (t *InMemory) SubmitRegistration(now time.Duration, sub *protocol.RegistrationSubmit, recovery string) (protocol.RegistrationResult, error) {
+	return t.Server.HandleRegistration(now, sub, recovery), nil
+}
+
+// FetchLoginPage implements Transport.
+func (t *InMemory) FetchLoginPage(now time.Duration) (*protocol.LoginPage, error) {
+	return t.Server.ServeLoginPage(now), nil
+}
+
+// SubmitLogin implements Transport.
+func (t *InMemory) SubmitLogin(now time.Duration, sub *protocol.LoginSubmit) (*protocol.ContentPage, error) {
+	if t.Interceptor != nil {
+		cp := *sub
+		t.Interceptor.CapturedLogin = &cp
+		if t.Interceptor.OnLoginSubmit != nil {
+			sub = t.Interceptor.OnLoginSubmit(sub)
+		}
+	}
+	return t.Server.HandleLogin(now, sub)
+}
+
+// SubmitPageRequest implements Transport.
+func (t *InMemory) SubmitPageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
+	if t.Interceptor != nil {
+		cp := *req
+		t.Interceptor.CapturedRequests = append(t.Interceptor.CapturedRequests, &cp)
+		if t.Interceptor.OnPageRequest != nil {
+			req = t.Interceptor.OnPageRequest(req)
+		}
+	}
+	return t.Server.HandlePageRequest(now, req)
+}

@@ -1,0 +1,370 @@
+// Package extract implements image-based minutiae extraction from
+// binarized fingerprint scans: majority-filter smoothing, Zhang-Suen
+// skeletonization, crossing-number minutiae detection, and spur/border
+// cleanup. It is the classical CV pipeline a production FLock
+// fingerprint processor would run on the sensor's bit image, and the
+// X10 experiment compares it against the statistical extraction model
+// the rest of the simulator uses (see DESIGN.md §2).
+package extract
+
+import (
+	"math"
+
+	"trust/internal/fingerprint"
+	"trust/internal/geom"
+	"trust/internal/sensor"
+)
+
+// Options tunes the pipeline.
+type Options struct {
+	// SmoothPasses of 3x3 majority filtering before thinning.
+	SmoothPasses int
+	// MinSpurPX prunes skeleton branches shorter than this.
+	MinSpurPX int
+	// BorderPX discards minutiae this close to the image border (scan
+	// windows cut ridges, creating false endings).
+	BorderPX int
+	// MergePX merges/minimum-separates minutiae closer than this.
+	MergePX int
+	// MaxDensityPerMM2 gates unusable images: genuine fingerprints
+	// carry ~0.4 minutiae/mm^2, while comparator noise manufactures
+	// spurious features. Images whose extracted density exceeds this
+	// yield nil (fail-safe: a noisy capture is discarded, not matched).
+	MaxDensityPerMM2 float64
+}
+
+// DefaultOptions is calibrated for the 50 um FLock sensor (ridge
+// period ~9 px): 100% ground-truth recall with stable-feature
+// precision ~0.9 across same-finger rescans.
+func DefaultOptions() Options {
+	return Options{SmoothPasses: 4, MinSpurPX: 12, BorderPX: 12, MergePX: 10, MaxDensityPerMM2: 0.75}
+}
+
+// Matcher returns the matcher operating point for image-extracted
+// feature sets: orientation-only angles (the structure-tensor estimate
+// is undirected), type-agnostic pairing (crossing-number type flips
+// under noise), and correspondingly tighter position/angle tolerances
+// with a higher score bar.
+func Matcher() fingerprint.MatcherConfig {
+	m := fingerprint.DefaultMatcher()
+	m.IgnoreType = true
+	m.OrientationOnly = true
+	m.PosTolMM = 0.4
+	m.AngleTolRad = 0.3
+	m.Threshold = 0.52
+	m.MinMatched = 8
+	return m
+}
+
+// Minutiae runs the full pipeline and returns minutiae in the image's
+// own millimetre frame (origin at pixel (0,0)), using pitchMM per
+// pixel.
+func Minutiae(img *sensor.BitImage, pitchMM float64, opts Options) []fingerprint.Minutia {
+	w, h := img.W(), img.H()
+	if w < 8 || h < 8 {
+		return nil
+	}
+	grid := toGrid(img)
+	for i := 0; i < opts.SmoothPasses; i++ {
+		grid = majority3x3(grid, w, h)
+	}
+	skel := thin(grid, w, h)
+	pruneSpurs(skel, w, h, opts.MinSpurPX)
+
+	var out []fingerprint.Minutia
+	for y := opts.BorderPX; y < h-opts.BorderPX; y++ {
+		for x := opts.BorderPX; x < w-opts.BorderPX; x++ {
+			if !skel[y*w+x] {
+				continue
+			}
+			switch crossingNumber(skel, w, x, y) {
+			case 1:
+				out = append(out, minutiaAt(grid, w, h, x, y, fingerprint.Ending, pitchMM))
+			case 3, 4:
+				out = append(out, minutiaAt(grid, w, h, x, y, fingerprint.Bifurcation, pitchMM))
+			}
+		}
+	}
+	out = dedupe(out, float64(opts.MergePX)*pitchMM)
+	if opts.MaxDensityPerMM2 > 0 {
+		usableW := float64(w-2*opts.BorderPX) * pitchMM
+		usableH := float64(h-2*opts.BorderPX) * pitchMM
+		if usableW > 0 && usableH > 0 {
+			if density := float64(len(out)) / (usableW * usableH); density > opts.MaxDensityPerMM2 {
+				return nil // noise-dominated image: fail safe
+			}
+		}
+	}
+	return out
+}
+
+// toGrid unpacks the bit image.
+func toGrid(img *sensor.BitImage) []bool {
+	w, h := img.W(), img.H()
+	g := make([]bool, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g[y*w+x] = img.Get(x, y)
+		}
+	}
+	return g
+}
+
+// majority3x3 despeckles: each pixel takes the majority of its 3x3
+// neighborhood.
+func majority3x3(g []bool, w, h int) []bool {
+	out := make([]bool, len(g))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			count, total := 0, 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := x+dx, y+dy
+					if nx < 0 || nx >= w || ny < 0 || ny >= h {
+						continue
+					}
+					total++
+					if g[ny*w+nx] {
+						count++
+					}
+				}
+			}
+			out[y*w+x] = count*2 > total
+		}
+	}
+	return out
+}
+
+// neighbors8 lists the 8-neighborhood in circular order (P2..P9 of the
+// Zhang-Suen formulation).
+var neighbors8 = [8][2]int{{0, -1}, {1, -1}, {1, 0}, {1, 1}, {0, 1}, {-1, 1}, {-1, 0}, {-1, -1}}
+
+// thin runs Zhang-Suen thinning to a 1-px skeleton.
+func thin(g []bool, w, h int) []bool {
+	skel := make([]bool, len(g))
+	copy(skel, g)
+	at := func(x, y int) bool {
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return false
+		}
+		return skel[y*w+x]
+	}
+	for {
+		changed := false
+		for pass := 0; pass < 2; pass++ {
+			var kill []int
+			for y := 1; y < h-1; y++ {
+				for x := 1; x < w-1; x++ {
+					if !skel[y*w+x] {
+						continue
+					}
+					var p [8]bool
+					n := 0
+					for i, d := range neighbors8 {
+						p[i] = at(x+d[0], y+d[1])
+						if p[i] {
+							n++
+						}
+					}
+					if n < 2 || n > 6 {
+						continue
+					}
+					// Transitions 0->1 around the circle.
+					a := 0
+					for i := 0; i < 8; i++ {
+						if !p[i] && p[(i+1)%8] {
+							a++
+						}
+					}
+					if a != 1 {
+						continue
+					}
+					// P2*P4*P6 (pass 0) or P2*P4*P8 (pass 1), etc.
+					if pass == 0 {
+						if (p[0] && p[2] && p[4]) || (p[2] && p[4] && p[6]) {
+							continue
+						}
+					} else {
+						if (p[0] && p[2] && p[6]) || (p[0] && p[4] && p[6]) {
+							continue
+						}
+					}
+					kill = append(kill, y*w+x)
+				}
+			}
+			for _, i := range kill {
+				skel[i] = false
+			}
+			if len(kill) > 0 {
+				changed = true
+			}
+		}
+		if !changed {
+			return skel
+		}
+	}
+}
+
+// crossingNumber is half the number of 0/1 transitions around the
+// pixel: 1 = ridge ending, 2 = ridge continuation, >= 3 = bifurcation.
+func crossingNumber(skel []bool, w, x, y int) int {
+	a := 0
+	for i := 0; i < 8; i++ {
+		c := skel[(y+neighbors8[i][1])*w+x+neighbors8[i][0]]
+		n := skel[(y+neighbors8[(i+1)%8][1])*w+x+neighbors8[(i+1)%8][0]]
+		if !c && n {
+			a++
+		}
+	}
+	return a
+}
+
+// pruneSpurs removes endpoint branches shorter than minLen.
+func pruneSpurs(skel []bool, w, h, minLen int) {
+	for iter := 0; iter < minLen; iter++ {
+		var kill []int
+		for y := 1; y < h-1; y++ {
+			for x := 1; x < w-1; x++ {
+				if skel[y*w+x] && crossingNumber(skel, w, x, y) == 1 {
+					// Endpoint of a short branch: check branch length.
+					if branchLen(skel, w, h, x, y, minLen) < minLen {
+						kill = append(kill, y*w+x)
+					}
+				}
+			}
+		}
+		if len(kill) == 0 {
+			return
+		}
+		for _, i := range kill {
+			skel[i] = false
+		}
+	}
+}
+
+// branchLen walks from an endpoint along the skeleton until a junction
+// or maxLen steps.
+func branchLen(skel []bool, w, h, x, y, maxLen int) int {
+	px, py := -1, -1
+	steps := 0
+	for steps < maxLen {
+		nx, ny, found := -1, -1, 0
+		for _, d := range neighbors8 {
+			qx, qy := x+d[0], y+d[1]
+			if qx < 0 || qx >= w || qy < 0 || qy >= h {
+				continue
+			}
+			if skel[qy*w+qx] && !(qx == px && qy == py) {
+				nx, ny = qx, qy
+				found++
+			}
+		}
+		if found != 1 {
+			return maxLen // junction or isolated: not a spur
+		}
+		px, py = x, y
+		x, y = nx, ny
+		steps++
+	}
+	return steps
+}
+
+// minutiaAt builds the output minutia. The angle is the local ridge
+// ORIENTATION in [0, pi), estimated with a structure tensor over the
+// smoothed binary image — far more stable between independent scans
+// than any directed skeleton-walk convention. Matching image-extracted
+// features therefore uses MatcherConfig.OrientationOnly.
+func minutiaAt(grid []bool, w, h, x, y int, typ fingerprint.MinutiaType, pitchMM float64) fingerprint.Minutia {
+	const r = 7
+	val := func(qx, qy int) float64 {
+		if qx < 0 || qx >= w || qy < 0 || qy >= h {
+			return 0
+		}
+		if grid[qy*w+qx] {
+			return 1
+		}
+		return -1
+	}
+	var gxx, gyy, gxy float64
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			qx, qy := x+dx, y+dy
+			gx := (val(qx+1, qy) - val(qx-1, qy)) / 2
+			gy := (val(qx, qy+1) - val(qx, qy-1)) / 2
+			gxx += gx * gx
+			gyy += gy * gy
+			gxy += gx * gy
+		}
+	}
+	// Dominant gradient direction; ridges run perpendicular to it.
+	theta := 0.5*math.Atan2(2*gxy, gxx-gyy) + math.Pi/2
+	for theta >= math.Pi {
+		theta -= math.Pi
+	}
+	for theta < 0 {
+		theta += math.Pi
+	}
+	return fingerprint.Minutia{
+		Pos:   geom.Point{X: (float64(x) + 0.5) * pitchMM, Y: (float64(y) + 0.5) * pitchMM},
+		Angle: theta,
+		Type:  typ,
+	}
+}
+
+// dedupe enforces a minimum separation, keeping the first of any close
+// pair (close pairs are usually one physical feature split by noise).
+func dedupe(ms []fingerprint.Minutia, minDistMM float64) []fingerprint.Minutia {
+	var out []fingerprint.Minutia
+	for _, m := range ms {
+		keep := true
+		for _, ex := range out {
+			if ex.Pos.Dist(m.Pos) < minDistMM {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Evaluation compares extracted minutiae against ground truth within a
+// position tolerance (type is ignored: a dislocation's apparent type
+// depends on the local flow).
+type Evaluation struct {
+	Extracted   int
+	GroundTruth int
+	Matched     int
+	Recall      float64
+	Precision   float64
+}
+
+// Evaluate greedily pairs extracted minutiae with ground truth.
+func Evaluate(extracted, truth []fingerprint.Minutia, tolMM float64) Evaluation {
+	ev := Evaluation{Extracted: len(extracted), GroundTruth: len(truth)}
+	used := make([]bool, len(truth))
+	for _, m := range extracted {
+		bestIdx, bestDist := -1, tolMM
+		for i, g := range truth {
+			if used[i] {
+				continue
+			}
+			if d := m.Pos.Dist(g.Pos); d <= bestDist {
+				bestIdx, bestDist = i, d
+			}
+		}
+		if bestIdx >= 0 {
+			used[bestIdx] = true
+			ev.Matched++
+		}
+	}
+	if ev.Extracted > 0 {
+		ev.Precision = float64(ev.Matched) / float64(ev.Extracted)
+	}
+	if ev.GroundTruth > 0 {
+		ev.Recall = float64(ev.Matched) / float64(ev.GroundTruth)
+	}
+	return ev
+}

@@ -1,0 +1,161 @@
+package extract
+
+import (
+	"testing"
+
+	"trust/internal/fingerprint"
+	"trust/internal/geom"
+	"trust/internal/sensor"
+	"trust/internal/sim"
+)
+
+// enrollScanConfig is a finger-sized enrolment scanner: 16x20 mm at
+// 50 um.
+func enrollScanConfig() sensor.Config {
+	return sensor.Config{Name: "enroll", CellPitchUM: 50, Cols: 320, Rows: 400, ClockHz: 4e6, MuxWidth: 8}
+}
+
+// fullScan images the whole finger and extracts minutiae.
+func fullScan(t testing.TB, f *fingerprint.Finger, seed uint64) []fingerprint.Minutia {
+	t.Helper()
+	arr, err := sensor.New(enrollScanConfig(), sim.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := arr.Scan(func(p geom.Point) float64 { return f.RidgeValue(p) }, arr.FullRegion(), sensor.ScanOptions{})
+	return Minutiae(res.Bits, 0.05, DefaultOptions())
+}
+
+func TestGroundTruthRecall(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		f := fingerprint.Synthesize(100+seed, fingerprint.PatternType(seed%3))
+		ms := fullScan(t, f, seed)
+		ev := Evaluate(ms, f.Minutiae(), 0.7)
+		if ev.Recall < 0.85 {
+			t.Errorf("finger %d: ground-truth recall %.2f (matched %d of %d)", seed, ev.Recall, ev.Matched, ev.GroundTruth)
+		}
+	}
+}
+
+func TestCrossScanStability(t *testing.T) {
+	// The extracted feature set (ground-truth dislocations plus the
+	// flow field's natural bifurcations) must be stable across scans
+	// with independent comparator noise — that is what makes it usable
+	// as a template.
+	f := fingerprint.Synthesize(42, fingerprint.Loop)
+	a := fullScan(t, f, 1)
+	b := fullScan(t, f, 2)
+	ev := Evaluate(a, b, 0.7)
+	if ev.Recall < 0.85 || ev.Precision < 0.85 {
+		t.Fatalf("same-finger cross-scan consistency: recall %.2f precision %.2f", ev.Recall, ev.Precision)
+	}
+}
+
+func TestDifferentFingersDiffer(t *testing.T) {
+	a := fullScan(t, fingerprint.Synthesize(42, fingerprint.Loop), 1)
+	c := fullScan(t, fingerprint.Synthesize(999, fingerprint.Loop), 3)
+	ev := Evaluate(a, c, 0.7)
+	if ev.Precision > 0.5 {
+		t.Fatalf("different fingers coincide at %.2f precision: not discriminative", ev.Precision)
+	}
+}
+
+func TestExtractedTemplateMatchesExtractedProbe(t *testing.T) {
+	// End-to-end image pipeline: enrolment template from a full scan,
+	// probe from an 8x8 mm window scan at a different location with
+	// independent noise, matched with the standard matcher.
+	f := fingerprint.Synthesize(7, fingerprint.Whorl)
+	tpl := &fingerprint.Template{Minutiae: fullScan(t, f, 10)}
+
+	probeArr, err := sensor.New(sensor.FLockConfig(), sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window over the finger centre: sensor frame maps to finger frame
+	// with a known offset the matcher must rediscover.
+	offset := geom.Point{X: 4, Y: 6}
+	res := probeArr.Scan(func(p geom.Point) float64 { return f.RidgeValue(p.Add(offset)) },
+		probeArr.FullRegion(), sensor.ScanOptions{})
+	probe := Minutiae(res.Bits, 0.05, DefaultOptions())
+	if len(probe) < fingerprint.MinProbeMinutiae {
+		t.Fatalf("window extraction found only %d minutiae", len(probe))
+	}
+	cap := &fingerprint.Capture{Minutiae: probe}
+	resMatch := Matcher().Match(tpl, cap)
+	if !resMatch.Accepted {
+		t.Fatalf("image-extracted probe rejected: score %.2f matched %d/%d", resMatch.Score, resMatch.Matched, resMatch.Probe)
+	}
+	// The recovered shift must be close to the actual window offset.
+	if resMatch.Shift.Dist(offset) > 1.5 {
+		t.Fatalf("recovered shift %v, want ~%v", resMatch.Shift, offset)
+	}
+}
+
+func TestImpostorImageProbeRejected(t *testing.T) {
+	f := fingerprint.Synthesize(7, fingerprint.Whorl)
+	g := fingerprint.Synthesize(8, fingerprint.Loop)
+	tpl := &fingerprint.Template{Minutiae: fullScan(t, f, 10)}
+	probeArr, err := sensor.New(sensor.FLockConfig(), sim.NewRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset := geom.Point{X: 4, Y: 6}
+	res := probeArr.Scan(func(p geom.Point) float64 { return g.RidgeValue(p.Add(offset)) },
+		probeArr.FullRegion(), sensor.ScanOptions{})
+	probe := Minutiae(res.Bits, 0.05, DefaultOptions())
+	cap := &fingerprint.Capture{Minutiae: probe}
+	if Matcher().Match(tpl, cap).Accepted {
+		t.Fatal("impostor image probe accepted")
+	}
+}
+
+func TestTinyImageYieldsNothing(t *testing.T) {
+	img := sensor.NewBitImage(4, 4)
+	if ms := Minutiae(img, 0.05, DefaultOptions()); ms != nil {
+		t.Fatalf("tiny image produced %d minutiae", len(ms))
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	ev := Evaluate(nil, nil, 0.5)
+	if ev.Recall != 0 || ev.Precision != 0 {
+		t.Fatalf("empty evaluation: %+v", ev)
+	}
+	one := []fingerprint.Minutia{{Pos: geom.Point{X: 1, Y: 1}}}
+	ev = Evaluate(one, one, 0.5)
+	if ev.Recall != 1 || ev.Precision != 1 {
+		t.Fatalf("identity evaluation: %+v", ev)
+	}
+}
+
+func TestThinProducesThinSkeleton(t *testing.T) {
+	// A thick solid stripe must thin to a (mostly) 1-px line: no pixel
+	// retains a full 3x3 solid neighborhood.
+	const w, h = 40, 20
+	g := make([]bool, w*h)
+	for y := 6; y < 14; y++ {
+		for x := 2; x < 38; x++ {
+			g[y*w+x] = true
+		}
+	}
+	skel := thin(g, w, h)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			if !skel[y*w+x] {
+				continue
+			}
+			solid := true
+			for dy := -1; dy <= 1 && solid; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if !skel[(y+dy)*w+x+dx] {
+						solid = false
+						break
+					}
+				}
+			}
+			if solid {
+				t.Fatalf("pixel (%d,%d) still has a solid 3x3 block after thinning", x, y)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"trust/internal/sim"
+)
+
+func BenchmarkSynthesize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Synthesize(uint64(i), PatternType(i%3))
+	}
+}
+
+func BenchmarkRidgeValue(b *testing.B) {
+	f := Synthesize(1, Loop)
+	p := f.Bounds().Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.RidgeValue(p)
+	}
+}
+
+func BenchmarkAcquire(b *testing.B) {
+	f := Synthesize(1, Loop)
+	rng := sim.NewRNG(1)
+	c := goodContactBench(f, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Acquire(f, c, rng)
+	}
+}
+
+func goodContactBench(f *Finger, rng *sim.RNG) Contact {
+	c := f.Bounds().Center()
+	return Contact{Center: c, Radius: NominalContactRadiusMM, Pressure: 0.7, SpeedMMS: 1}
+}
+
+func BenchmarkMatchGenuine(b *testing.B) {
+	f := Synthesize(1, Loop)
+	tpl := NewTemplate(f)
+	rng := sim.NewRNG(2)
+	cap := Acquire(f, goodContactBench(f, rng), rng)
+	cfg := DefaultMatcher()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Match(tpl, cap)
+	}
+}
+
+func BenchmarkMatchImpostor(b *testing.B) {
+	f := Synthesize(1, Loop)
+	g := Synthesize(99, Whorl)
+	tpl := NewTemplate(f)
+	rng := sim.NewRNG(3)
+	cap := Acquire(g, goodContactBench(g, rng), rng)
+	cfg := DefaultMatcher()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Match(tpl, cap)
+	}
+}

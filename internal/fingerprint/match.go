@@ -1,0 +1,206 @@
+package fingerprint
+
+import (
+	"math"
+	"sort"
+
+	"trust/internal/geom"
+)
+
+// Matcher parameters. The probe frame differs from the template frame
+// by an unknown rotation and translation; the matcher recovers the
+// transform by Hough voting over minutia pairs and then scores greedy
+// one-to-one pairings under the recovered transform.
+type MatcherConfig struct {
+	PosTolMM    float64 // pairing tolerance in position
+	AngleTolRad float64 // pairing tolerance in minutia direction
+	RotBinRad   float64 // Hough rotation bin width
+	PosBinMM    float64 // Hough translation bin width
+	MaxRotRad   float64 // largest finger rotation considered
+	Threshold   float64 // accept decision boundary on Score
+	MinMatched  int     // accept also requires at least this many pairs
+	// IgnoreType pairs minutiae regardless of ending/bifurcation class.
+	// Crossing-number type flips under image noise, so image-extracted
+	// feature sets match better type-agnostically; the statistical
+	// pipeline keeps type checks on.
+	IgnoreType bool
+	// OrientationOnly compares minutia angles modulo pi: image-based
+	// extraction estimates the (undirected) local ridge orientation,
+	// which is far more stable under noise than a directed angle.
+	OrientationOnly bool
+}
+
+// angleDelta is the signed rotation between two minutia angles under
+// the configured angle semantics.
+func (cfg MatcherConfig) angleDelta(a, b float64) float64 {
+	d := geom.WrapAngle(a - b)
+	if cfg.OrientationOnly {
+		if d > math.Pi/2 {
+			d -= math.Pi
+		}
+		if d <= -math.Pi/2 {
+			d += math.Pi
+		}
+	}
+	return d
+}
+
+// DefaultMatcher is calibrated for the synthetic finger model: genuine
+// partial captures score well above Threshold, impostors well below
+// (see match_test.go for the measured separation).
+func DefaultMatcher() MatcherConfig {
+	return MatcherConfig{
+		PosTolMM:    0.65,
+		AngleTolRad: 0.45,
+		RotBinRad:   0.10,
+		PosBinMM:    0.80,
+		MaxRotRad:   0.9,
+		Threshold:   0.45,
+		MinMatched:  5,
+	}
+}
+
+// MatchResult reports one template-vs-capture comparison.
+type MatchResult struct {
+	Score    float64 // matched fraction of usable probe minutiae, 0..1
+	Matched  int     // paired minutiae under the best transform
+	Probe    int     // usable probe minutiae
+	Rotation float64 // recovered rotation (probe -> template)
+	Shift    geom.Point
+	Accepted bool
+}
+
+// Match compares an enrolled template against a capture. Captures that
+// failed the quality gate still get a score (attack experiments need
+// it); the caller is responsible for discarding them per Fig 6.
+func (cfg MatcherConfig) Match(t *Template, c *Capture) MatchResult {
+	probe := c.Minutiae
+	res := MatchResult{Probe: len(probe)}
+	if len(probe) < MinProbeMinutiae || len(t.Minutiae) == 0 {
+		return res
+	}
+
+	// Hough voting: each (template, probe) pair of equal type proposes
+	// a rotation bin; within a rotation bin it proposes a translation.
+	type voteKey struct{ rot, tx, ty int }
+	votes := make(map[voteKey]int)
+	for _, tm := range t.Minutiae {
+		for _, pm := range probe {
+			if !cfg.IgnoreType && tm.Type != pm.Type {
+				continue
+			}
+			dTheta := cfg.angleDelta(tm.Angle, pm.Angle)
+			if math.Abs(dTheta) > cfg.MaxRotRad {
+				continue
+			}
+			rotBin := int(math.Round(dTheta / cfg.RotBinRad))
+			rot := float64(rotBin) * cfg.RotBinRad
+			moved := pm.Pos.Rotate(rot)
+			shift := tm.Pos.Sub(moved)
+			votes[voteKey{
+				rot: rotBin,
+				tx:  int(math.Round(shift.X / cfg.PosBinMM)),
+				ty:  int(math.Round(shift.Y / cfg.PosBinMM)),
+			}]++
+		}
+	}
+	if len(votes) == 0 {
+		return res
+	}
+
+	// Take the strongest few hypotheses (neighbouring bins can split
+	// the true peak) and score each exactly.
+	type hyp struct {
+		key   voteKey
+		count int
+	}
+	hyps := make([]hyp, 0, len(votes))
+	for k, v := range votes {
+		hyps = append(hyps, hyp{k, v})
+	}
+	sort.Slice(hyps, func(i, j int) bool {
+		if hyps[i].count != hyps[j].count {
+			return hyps[i].count > hyps[j].count
+		}
+		// Deterministic tie-break.
+		a, b := hyps[i].key, hyps[j].key
+		if a.rot != b.rot {
+			return a.rot < b.rot
+		}
+		if a.tx != b.tx {
+			return a.tx < b.tx
+		}
+		return a.ty < b.ty
+	})
+	if len(hyps) > 6 {
+		hyps = hyps[:6]
+	}
+
+	best := res
+	for _, h := range hyps {
+		rot := float64(h.key.rot) * cfg.RotBinRad
+		shift := geom.Point{
+			X: float64(h.key.tx) * cfg.PosBinMM,
+			Y: float64(h.key.ty) * cfg.PosBinMM,
+		}
+		// Refine: the Hough bin centre carries up to half a bin of
+		// translation error, which eats most of the pairing tolerance.
+		// Re-centre the shift on the mean residual of the paired
+		// minutiae and re-count (two rounds are enough to converge).
+		matched, residual := cfg.countMatches(t, probe, rot, shift)
+		for round := 0; round < 2 && matched > 0; round++ {
+			refined := shift.Add(residual)
+			m2, r2 := cfg.countMatches(t, probe, rot, refined)
+			if m2 < matched {
+				break
+			}
+			shift, matched, residual = refined, m2, r2
+		}
+		score := float64(matched) / float64(len(probe))
+		if score > best.Score {
+			best = MatchResult{
+				Score:    score,
+				Matched:  matched,
+				Probe:    len(probe),
+				Rotation: rot,
+				Shift:    shift,
+			}
+		}
+	}
+	best.Accepted = best.Score >= cfg.Threshold && best.Matched >= cfg.MinMatched
+	return best
+}
+
+// countMatches counts a greedy one-to-one pairing between the probe
+// (moved by rot/shift) and the template, and returns the mean pairing
+// residual (template minus moved probe) for transform refinement.
+func (cfg MatcherConfig) countMatches(t *Template, probe []Minutia, rot float64, shift geom.Point) (int, geom.Point) {
+	used := make([]bool, len(t.Minutiae))
+	matched := 0
+	var residual geom.Point
+	for _, pm := range probe {
+		moved := pm.Transform(rot, shift)
+		bestIdx, bestDist := -1, cfg.PosTolMM
+		for i, tm := range t.Minutiae {
+			if used[i] || (!cfg.IgnoreType && tm.Type != moved.Type) {
+				continue
+			}
+			if math.Abs(cfg.angleDelta(tm.Angle, moved.Angle)) > cfg.AngleTolRad {
+				continue
+			}
+			d := tm.Pos.Dist(moved.Pos)
+			if d <= bestDist {
+				bestDist, bestIdx = d, i
+			}
+		}
+		if bestIdx >= 0 {
+			residual = residual.Add(t.Minutiae[bestIdx].Pos.Sub(moved.Pos))
+			used[bestIdx] = true
+			matched++
+		}
+	}
+	if matched > 0 {
+		residual = residual.Scale(1 / float64(matched))
+	}
+	return matched, residual
+}

@@ -1,0 +1,65 @@
+package flock
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"time"
+
+	"trust/internal/pki"
+)
+
+// The host interface: the untrusted SoC asks the module to perform
+// crypto operations for the TRUST protocols. Every operation that
+// asserts user intent (registration submits, login submits, page
+// requests) requires a fresh verified touch — this is how the paper's
+// guarantee that "requests are originated from touch actions from the
+// authorized user" is enforced, and what defeats malware-injected
+// requests in the attack suite.
+
+// SignAsDevice signs data with the module's built-in device key after
+// checking touch authorization.
+func (m *Module) SignAsDevice(now time.Duration, data []byte) ([]byte, error) {
+	if !m.TouchAuthorized(now) {
+		return nil, ErrNotAuthorized
+	}
+	m.energy.AddEvent("crypto", 1e-6)
+	return ed25519.Sign(m.deviceKeys.Private, data), nil
+}
+
+// SignAsService signs data with the per-domain user key after checking
+// touch authorization.
+func (m *Module) SignAsService(now time.Duration, domain string, data []byte) ([]byte, error) {
+	if !m.TouchAuthorized(now) {
+		return nil, ErrNotAuthorized
+	}
+	rec, err := m.Record(domain)
+	if err != nil {
+		return nil, err
+	}
+	m.energy.AddEvent("crypto", 1e-6)
+	return ed25519.Sign(rec.Keys.Private, data), nil
+}
+
+// VerifyServerSignature checks a signature under the stored server key
+// for a domain (no touch needed: verification is not an intent
+// assertion).
+func (m *Module) VerifyServerSignature(domain string, data, sig []byte) error {
+	rec, err := m.Record(domain)
+	if err != nil {
+		return err
+	}
+	if !ed25519.Verify(rec.ServerPublicKey, data, sig) {
+		return fmt.Errorf("flock: server signature invalid for %q", domain)
+	}
+	return nil
+}
+
+// NewSessionKey draws a session key inside the crypto processor.
+func (m *Module) NewSessionKey() ([]byte, error) {
+	m.energy.AddEvent("crypto", 0.5e-6)
+	return pki.NewSessionKey(m.entropy)
+}
+
+// Entropy exposes the module's deterministic entropy source for
+// protocol nonce/sealing operations performed on the module's behalf.
+func (m *Module) Entropy() *pki.DeterministicRand { return m.entropy }

@@ -1,0 +1,58 @@
+package flock
+
+import (
+	"fmt"
+
+	"trust/internal/extract"
+	"trust/internal/fingerprint"
+	"trust/internal/placement"
+	"trust/internal/sensor"
+)
+
+// ImageConfig returns a module configuration that runs the real CV
+// extraction stack on every capture (experiment X10's conservative
+// operating point) instead of the fast statistical model.
+func ImageConfig(p placement.Placement) Config {
+	cfg := DefaultConfig(p)
+	cfg.UseImagePipeline = true
+	cfg.Matcher = extract.Matcher()
+	return cfg
+}
+
+// imageCapture builds a Capture from the scanned window image: CV
+// minutiae extraction plus a quality gate whose coverage term comes
+// from the image itself (a half-blank window means the finger missed
+// the sensor).
+func (m *Module) imageCapture(contact fingerprint.Contact, scanRes sensor.ScanResult) *fingerprint.Capture {
+	pitchMM := m.cfg.SensorConfig.CellPitchUM / 1000
+	minutiae := extract.Minutiae(scanRes.Bits, pitchMM, extract.DefaultOptions())
+	// A well-covered scan has ridge fraction ~0.5; scale coverage so
+	// full coverage saturates at 1.
+	coverage := scanRes.Bits.RidgeFraction() / 0.45
+	q := fingerprint.AssessContactQuality(contact, coverage)
+	cap := &fingerprint.Capture{Contact: contact, Quality: q, Minutiae: minutiae}
+	if len(minutiae) < fingerprint.MinProbeMinutiae {
+		found := false
+		for _, r := range cap.Quality.Reasons {
+			if r == fingerprint.RejectFewFeatures {
+				found = true
+			}
+		}
+		if !found {
+			cap.Quality.Reasons = append(cap.Quality.Reasons, fingerprint.RejectFewFeatures)
+		}
+	}
+	return cap
+}
+
+// EnrollFromScan extracts a template from an enrolment scan image (a
+// full-finger scanner at the given pixel pitch) and stores it under
+// name. Image-pipeline modules must enroll this way so template and
+// probe features share the extraction convention.
+func (m *Module) EnrollFromScan(name string, bits *sensor.BitImage, pitchMM float64) error {
+	if bits == nil {
+		return fmt.Errorf("flock: nil enrolment scan")
+	}
+	ms := extract.Minutiae(bits, pitchMM, extract.DefaultOptions())
+	return m.EnrollNamed(name, &fingerprint.Template{Minutiae: ms})
+}

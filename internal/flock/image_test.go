@@ -1,0 +1,115 @@
+package flock
+
+import (
+	"testing"
+	"time"
+
+	"trust/internal/fingerprint"
+	"trust/internal/geom"
+	"trust/internal/pki"
+	"trust/internal/sensor"
+	"trust/internal/sim"
+	"trust/internal/touch"
+)
+
+// enrollScan images a whole finger with a finger-sized scanner.
+func enrollScan(t *testing.T, f *fingerprint.Finger, seed uint64) *sensor.BitImage {
+	t.Helper()
+	cfg := sensor.Config{Name: "enroll", CellPitchUM: 50, Cols: 320, Rows: 400, ClockHz: 4e6, MuxWidth: 8}
+	arr, err := sensor.New(cfg, sim.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr.Scan(func(p geom.Point) float64 { return f.RidgeValue(p) }, arr.FullRegion(), sensor.ScanOptions{}).Bits
+}
+
+func newImageModule(t *testing.T) (*Module, *fingerprint.Finger) {
+	t.Helper()
+	ca, err := pki.NewCA("trust-root", pki.NewDeterministicRand(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(ImageConfig(testPlacement()), ca, "img-device", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := fingerprint.Synthesize(4242, fingerprint.Loop)
+	if err := m.EnrollFromScan("owner", enrollScan(t, owner, 1), 0.05); err != nil {
+		t.Fatal(err)
+	}
+	return m, owner
+}
+
+func TestImagePipelineOwnerVerifies(t *testing.T) {
+	m, owner := newImageModule(t)
+	rng := sim.NewRNG(9)
+	matched := 0
+	const touches = 30
+	for i := 0; i < touches; i++ {
+		ev := touch.Event{
+			At: time.Duration(i) * time.Second, Pos: geom.Point{X: 240, Y: 720},
+			Pressure: 0.75, RadiusMM: 4.2, SpeedMMS: 1,
+			FingerOffsetMM: geom.Point{X: rng.Normal(0, 1.2), Y: rng.Normal(0, 1.5)},
+		}
+		out := m.HandleTouch(ev, owner)
+		if out.Kind == Matched {
+			matched++
+		}
+	}
+	// The CV pipeline is the conservative zero-FAR operating point; it
+	// must still verify the owner on a solid share of clean touches.
+	if matched < touches/3 {
+		t.Fatalf("image pipeline verified only %d/%d owner touches", matched, touches)
+	}
+}
+
+func TestImagePipelineImpostorRejected(t *testing.T) {
+	m, _ := newImageModule(t)
+	impostor := fingerprint.Synthesize(31337, fingerprint.Whorl)
+	rng := sim.NewRNG(10)
+	matched := 0
+	for i := 0; i < 25; i++ {
+		ev := touch.Event{
+			At: time.Duration(i) * time.Second, Pos: geom.Point{X: 240, Y: 720},
+			Pressure: 0.75, RadiusMM: 4.2, SpeedMMS: 1,
+			FingerOffsetMM: geom.Point{X: rng.Normal(0, 1.2), Y: rng.Normal(0, 1.5)},
+		}
+		if m.HandleTouch(ev, impostor).Kind == Matched {
+			matched++
+		}
+	}
+	if matched != 0 {
+		t.Fatalf("image pipeline matched the impostor %d times", matched)
+	}
+}
+
+func TestImagePipelineBlankWindowGated(t *testing.T) {
+	m, owner := newImageModule(t)
+	// A touch whose fingertip contact lands mostly off the finger: the
+	// scanned window is largely blank, and the image-derived coverage
+	// gate must discard it.
+	ev := touch.Event{
+		At: 0, Pos: geom.Point{X: 240, Y: 720},
+		Pressure: 0.75, RadiusMM: 4.2, SpeedMMS: 1,
+		FingerOffsetMM: geom.Point{X: -12, Y: -14}, // near the finger corner
+	}
+	out := m.HandleTouch(ev, owner)
+	if out.Kind == Matched {
+		t.Fatalf("blank-window touch verified (outcome %v)", out.Kind)
+	}
+}
+
+func TestEnrollFromScanValidation(t *testing.T) {
+	ca, _ := pki.NewCA("trust-root", pki.NewDeterministicRand(32))
+	m, err := New(ImageConfig(testPlacement()), ca, "img2", 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnrollFromScan("x", nil, 0.05); err == nil {
+		t.Fatal("nil scan accepted")
+	}
+	// A tiny scan yields no minutiae and must be rejected as sparse.
+	if err := m.EnrollFromScan("x", sensor.NewBitImage(10, 10), 0.05); err == nil {
+		t.Fatal("featureless scan accepted")
+	}
+}

@@ -1,0 +1,361 @@
+package flock
+
+import (
+	"testing"
+	"time"
+
+	"trust/internal/fingerprint"
+	"trust/internal/geom"
+	"trust/internal/pki"
+	"trust/internal/placement"
+	"trust/internal/touch"
+)
+
+// testPlacement returns a fixed two-sensor layout: one over the
+// keyboard band, one over content centre.
+func testPlacement() placement.Placement {
+	return placement.Placement{Sensors: []geom.Rect{
+		geom.RectWH(180, 660, 120, 120),
+		geom.RectWH(180, 340, 120, 120),
+	}}
+}
+
+func newTestModule(t *testing.T) (*Module, *pki.CA) {
+	t.Helper()
+	ca, err := pki.NewCA("trust-root", pki.NewDeterministicRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(DefaultConfig(testPlacement()), ca, "device-1", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ca
+}
+
+// ownerFinger and enrolment shared by tests.
+func enrollOwner(t *testing.T, m *Module) *fingerprint.Finger {
+	t.Helper()
+	f := fingerprint.Synthesize(4242, fingerprint.Loop)
+	if err := m.Enroll(fingerprint.NewTemplate(f)); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// onSensorEvent builds a clean tap landing on sensor 0.
+func onSensorEvent(at time.Duration) touch.Event {
+	return touch.Event{
+		At:       at,
+		Pos:      geom.Point{X: 240, Y: 720},
+		Kind:     touch.Tap,
+		Pressure: 0.7,
+		RadiusMM: 4.2,
+		SpeedMMS: 1,
+	}
+}
+
+func TestNewRequiresPlacement(t *testing.T) {
+	ca, _ := pki.NewCA("trust-root", pki.NewDeterministicRand(2))
+	if _, err := New(DefaultConfig(placement.Placement{}), ca, "d", 1); err == nil {
+		t.Fatal("empty placement accepted")
+	}
+}
+
+func TestDeviceCertificateValid(t *testing.T) {
+	m, ca := newTestModule(t)
+	if err := m.DeviceCert().Verify(ca.PublicKey(), pki.RoleFLock); err != nil {
+		t.Fatalf("device certificate invalid: %v", err)
+	}
+}
+
+func TestEnrollValidation(t *testing.T) {
+	m, _ := newTestModule(t)
+	if m.Enrolled() {
+		t.Fatal("module enrolled at birth")
+	}
+	if err := m.Enroll(nil); err == nil {
+		t.Fatal("nil template accepted")
+	}
+	if err := m.Enroll(&fingerprint.Template{}); err == nil {
+		t.Fatal("empty template accepted")
+	}
+	enrollOwner(t, m)
+	if !m.Enrolled() {
+		t.Fatal("enrolment did not stick")
+	}
+}
+
+func TestOwnerTouchMatches(t *testing.T) {
+	m, _ := newTestModule(t)
+	f := enrollOwner(t, m)
+	matched := 0
+	for i := 0; i < 20; i++ {
+		out := m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), f)
+		if out.Kind == Matched {
+			matched++
+			if out.Score <= 0 {
+				t.Fatal("matched with zero score")
+			}
+			if out.SensorIndex != 0 {
+				t.Fatalf("wrong sensor index %d", out.SensorIndex)
+			}
+		}
+	}
+	if matched < 15 {
+		t.Fatalf("owner matched only %d/20 on-sensor touches", matched)
+	}
+}
+
+func TestImpostorTouchMismatches(t *testing.T) {
+	m, _ := newTestModule(t)
+	enrollOwner(t, m)
+	impostor := fingerprint.Synthesize(666, fingerprint.Whorl)
+	matched := 0
+	for i := 0; i < 20; i++ {
+		out := m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), impostor)
+		if out.Kind == Matched {
+			matched++
+		}
+	}
+	if matched > 0 {
+		t.Fatalf("impostor matched %d/20 touches", matched)
+	}
+}
+
+func TestOffSensorTouchSkipsCapture(t *testing.T) {
+	m, _ := newTestModule(t)
+	f := enrollOwner(t, m)
+	ev := onSensorEvent(0)
+	ev.Pos = geom.Point{X: 60, Y: 100} // far from both sensors
+	out := m.HandleTouch(ev, f)
+	if out.Kind != OutsideSensor {
+		t.Fatalf("off-sensor touch outcome %v", out.Kind)
+	}
+	if out.SensorScan != 0 {
+		t.Fatal("sensor scanned for off-sensor touch")
+	}
+	if out.EnergySpent != 0 {
+		t.Fatal("sensor energy spent for off-sensor touch")
+	}
+}
+
+func TestFastSwipeRejectedAtQualityGate(t *testing.T) {
+	m, _ := newTestModule(t)
+	f := enrollOwner(t, m)
+	ev := onSensorEvent(0)
+	ev.Kind = touch.Swipe
+	ev.SpeedMMS = 80
+	out := m.HandleTouch(ev, f)
+	if out.Kind != LowQuality {
+		t.Fatalf("fast swipe outcome %v", out.Kind)
+	}
+	found := false
+	for _, r := range out.Reasons {
+		if r == fingerprint.RejectTooFast {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reasons %v missing too-fast", out.Reasons)
+	}
+}
+
+func TestLatencyDecomposition(t *testing.T) {
+	m, _ := newTestModule(t)
+	f := enrollOwner(t, m)
+	out := m.HandleTouch(onSensorEvent(0), f)
+	if out.Kind != Matched && out.Kind != Mismatched {
+		t.Skipf("probabilistic outcome %v", out.Kind)
+	}
+	if out.PanelScan != 4*time.Millisecond {
+		t.Fatalf("panel scan %v, want 4ms", out.PanelScan)
+	}
+	if out.SensorScan <= 0 {
+		t.Fatal("sensor scan latency missing")
+	}
+	if out.Total != out.PanelScan+out.SensorScan+out.MatchTime {
+		t.Fatalf("latency decomposition inconsistent: %+v", out)
+	}
+	// End-to-end capture must fit in a tap dwell (paper Sec IV-A).
+	if out.Total > 120*time.Millisecond {
+		t.Fatalf("capture latency %v exceeds tap dwell", out.Total)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m, _ := newTestModule(t)
+	f := enrollOwner(t, m)
+	m.HandleTouch(onSensorEvent(0), f)
+	ev := onSensorEvent(time.Second)
+	ev.Pos = geom.Point{X: 60, Y: 100}
+	m.HandleTouch(ev, f)
+	s := m.Stats()
+	if s.Touches != 2 {
+		t.Fatalf("stats touches %d", s.Touches)
+	}
+	if s.OutsideSensor != 1 {
+		t.Fatalf("outside count %d", s.OutsideSensor)
+	}
+	if s.Matched+s.Mismatched+s.LowQuality != 1 {
+		t.Fatalf("on-sensor outcome not counted: %+v", s)
+	}
+}
+
+func TestRiskFactorWindow(t *testing.T) {
+	m, _ := newTestModule(t)
+	f := enrollOwner(t, m)
+	for i := 0; i < 5; i++ {
+		m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), f)
+	}
+	verified, considered := m.RiskFactor(5)
+	if considered != 5 {
+		t.Fatalf("considered %d, want 5", considered)
+	}
+	if verified < 3 {
+		t.Fatalf("owner verified only %d/5", verified)
+	}
+	if v, c := m.RiskFactor(0); v != 0 || c != 0 {
+		t.Fatal("zero window should return zeros")
+	}
+}
+
+func TestTouchAuthorizationFreshness(t *testing.T) {
+	m, _ := newTestModule(t)
+	f := enrollOwner(t, m)
+	if m.TouchAuthorized(0) {
+		t.Fatal("authorized before any touch")
+	}
+	var matchedAt time.Duration = -1
+	for i := 0; i < 10; i++ {
+		out := m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), f)
+		if out.Kind == Matched {
+			matchedAt = out.At + out.Total
+			break
+		}
+	}
+	if matchedAt < 0 {
+		t.Fatal("owner never matched")
+	}
+	if !m.TouchAuthorized(matchedAt + time.Second) {
+		t.Fatal("not authorized right after verified touch")
+	}
+	if m.TouchAuthorized(matchedAt + time.Hour) {
+		t.Fatal("authorization did not expire")
+	}
+}
+
+func TestSignAsDeviceRequiresTouch(t *testing.T) {
+	m, _ := newTestModule(t)
+	f := enrollOwner(t, m)
+	if _, err := m.SignAsDevice(0, []byte("payload")); err != ErrNotAuthorized {
+		t.Fatalf("unauthorized sign error = %v", err)
+	}
+	var now time.Duration
+	for i := 0; i < 10; i++ {
+		out := m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), f)
+		if out.Kind == Matched {
+			now = out.At + out.Total + time.Millisecond
+			break
+		}
+	}
+	sig, err := m.SignAsDevice(now, []byte("payload"))
+	if err != nil {
+		t.Fatalf("authorized sign failed: %v", err)
+	}
+	if len(sig) == 0 {
+		t.Fatal("empty signature")
+	}
+}
+
+func TestUnenrolledModuleNeverMatches(t *testing.T) {
+	m, _ := newTestModule(t)
+	f := fingerprint.Synthesize(4242, fingerprint.Loop)
+	for i := 0; i < 10; i++ {
+		out := m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), f)
+		if out.Kind == Matched {
+			t.Fatal("unenrolled module matched a finger")
+		}
+	}
+}
+
+func TestEnergyAccountedPerComponent(t *testing.T) {
+	m, _ := newTestModule(t)
+	f := enrollOwner(t, m)
+	for i := 0; i < 10; i++ {
+		m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), f)
+	}
+	e := m.Energy()
+	if e.Component("touchscreen") <= 0 {
+		t.Fatal("no touchscreen energy")
+	}
+	if e.Component("fingerprint-sensor") <= 0 {
+		t.Fatal("no sensor energy")
+	}
+	if e.Total() <= 0 {
+		t.Fatal("no total energy")
+	}
+}
+
+func TestOpportunisticBeatsAlwaysOn(t *testing.T) {
+	// X4: one hour of 1000 opportunistic captures must cost far less
+	// sensor energy than one hour of continuous scanning.
+	m, _ := newTestModule(t)
+	f := enrollOwner(t, m)
+	for i := 0; i < 1000; i++ {
+		m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), f)
+	}
+	opportunistic := m.Energy().Component("fingerprint-sensor")
+	alwaysOn := m.IdleSensorEnergy(time.Hour)
+	if ratio := float64(alwaysOn) / float64(opportunistic); ratio < 20 {
+		t.Fatalf("always-on only %.1fx opportunistic (%v vs %v)", ratio, alwaysOn, opportunistic)
+	}
+}
+
+func TestDisplayFrameHashes(t *testing.T) {
+	m, _ := newTestModule(t)
+	h1, lat := m.DisplayFrame([]byte("frame-bytes"))
+	if lat <= 0 {
+		t.Fatal("no hash latency")
+	}
+	h2, _ := m.DisplayFrame([]byte("frame-bytes"))
+	if h1 != h2 {
+		t.Fatal("same frame hashed differently")
+	}
+	got, ok := m.Repeater().LastHash()
+	if !ok || got != h2 {
+		t.Fatal("repeater out of sync")
+	}
+}
+
+func TestOutcomeKindStrings(t *testing.T) {
+	for _, k := range []OutcomeKind{OutsideSensor, LowQuality, Matched, Mismatched, NotSensed} {
+		if k.String() == "" {
+			t.Errorf("kind %d empty", int(k))
+		}
+	}
+	if !Matched.Verified() || Mismatched.Verified() {
+		t.Fatal("Verified() wrong")
+	}
+}
+
+func TestRiskFactorConsidersRecentOnly(t *testing.T) {
+	m, _ := newTestModule(t)
+	f := enrollOwner(t, m)
+	impostor := fingerprint.Synthesize(31337, fingerprint.Arch)
+	// 10 owner touches then 10 impostor touches: a window of 5 must see
+	// only impostor outcomes.
+	for i := 0; i < 10; i++ {
+		m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), f)
+	}
+	for i := 10; i < 20; i++ {
+		m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), impostor)
+	}
+	verified, considered := m.RiskFactor(5)
+	if considered != 5 {
+		t.Fatalf("considered %d", considered)
+	}
+	if verified != 0 {
+		t.Fatalf("impostor window shows %d verified", verified)
+	}
+}

@@ -1,0 +1,188 @@
+package flock
+
+import (
+	"testing"
+	"time"
+
+	"trust/internal/fingerprint"
+	"trust/internal/pki"
+)
+
+func TestEnrollNamedMultipleUsers(t *testing.T) {
+	m, _ := newTestModule(t)
+	alice := fingerprint.Synthesize(1111, fingerprint.Loop)
+	bob := fingerprint.Synthesize(2222, fingerprint.Whorl)
+	if err := m.EnrollNamed("alice", fingerprint.NewTemplate(alice)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnrollNamed("bob", fingerprint.NewTemplate(bob)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnrollNamed("alice", fingerprint.NewTemplate(alice)); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := m.EnrollNamed("", fingerprint.NewTemplate(alice)); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	names := m.EnrolledNames()
+	if len(names) != 2 || names[0] != "alice" || names[1] != "bob" {
+		t.Fatalf("enrolled names %v", names)
+	}
+
+	// Both users verify, each identified as themselves.
+	hits := map[string]int{}
+	for i := 0; i < 30; i++ {
+		finger, want := alice, "alice"
+		if i%2 == 1 {
+			finger, want = bob, "bob"
+		}
+		out := m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), finger)
+		if out.Kind == Matched {
+			if out.Template != want {
+				t.Fatalf("touch %d identified as %q, want %q", i, out.Template, want)
+			}
+			hits[want]++
+		}
+	}
+	if hits["alice"] < 5 || hits["bob"] < 5 {
+		t.Fatalf("identification hits %v", hits)
+	}
+}
+
+func TestEnrollReplacesAllTemplates(t *testing.T) {
+	m, _ := newTestModule(t)
+	a := fingerprint.Synthesize(1, fingerprint.Loop)
+	b := fingerprint.Synthesize(2, fingerprint.Arch)
+	if err := m.EnrollNamed("a", fingerprint.NewTemplate(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Enroll(fingerprint.NewTemplate(b)); err != nil {
+		t.Fatal(err)
+	}
+	names := m.EnrolledNames()
+	if len(names) != 1 || names[0] != "owner" {
+		t.Fatalf("Enroll did not replace: %v", names)
+	}
+}
+
+func TestRevokeTemplate(t *testing.T) {
+	m, _ := newTestModule(t)
+	alice := fingerprint.Synthesize(1111, fingerprint.Loop)
+	bob := fingerprint.Synthesize(2222, fingerprint.Whorl)
+	m.EnrollNamed("alice", fingerprint.NewTemplate(alice))
+	m.EnrollNamed("bob", fingerprint.NewTemplate(bob))
+	if err := m.RevokeTemplate("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RevokeTemplate("bob"); err == nil {
+		t.Fatal("double revoke accepted")
+	}
+	// Bob no longer matches.
+	matched := 0
+	for i := 0; i < 15; i++ {
+		out := m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), bob)
+		if out.Kind == Matched {
+			matched++
+		}
+	}
+	if matched != 0 {
+		t.Fatalf("revoked finger matched %d times", matched)
+	}
+	// Alice still does.
+	matched = 0
+	for i := 20; i < 40; i++ {
+		out := m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), alice)
+		if out.Kind == Matched {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Fatal("remaining user no longer matches")
+	}
+}
+
+func TestMultiTemplateMatchLatencyScales(t *testing.T) {
+	m, _ := newTestModule(t)
+	a := fingerprint.Synthesize(1, fingerprint.Loop)
+	m.EnrollNamed("a", fingerprint.NewTemplate(a))
+	m.EnrollNamed("b", fingerprint.NewTemplate(fingerprint.Synthesize(2, fingerprint.Arch)))
+	m.EnrollNamed("c", fingerprint.NewTemplate(fingerprint.Synthesize(3, fingerprint.Whorl)))
+	for i := 0; i < 10; i++ {
+		out := m.HandleTouch(onSensorEvent(time.Duration(i)*time.Second), a)
+		if out.Kind == Matched || out.Kind == Mismatched {
+			if out.MatchTime != 3*DefaultConfig(testPlacement()).MatchLatency {
+				t.Fatalf("match time %v for 3 templates", out.MatchTime)
+			}
+			return
+		}
+	}
+	t.Skip("no definitive capture in 10 touches")
+}
+
+func TestModuleAdaptationTracksDrift(t *testing.T) {
+	ca, err := pki.NewCA("trust-root", pki.NewDeterministicRand(90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(testPlacement())
+	cfg.AdaptScoreMin = 0.6
+	m, err := New(cfg, ca, "adaptive-device", 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fingerprint.Synthesize(777, fingerprint.Loop)
+	if err := m.Enroll(fingerprint.NewTemplate(f)); err != nil {
+		t.Fatal(err)
+	}
+	// Use the device across drift epochs; adaptation keeps it working.
+	current := f
+	var at time.Duration
+	finalMatched, finalTouches := 0, 0
+	for epoch := 0; epoch < 8; epoch++ {
+		current = current.Drifted(0.22, uint64(epoch))
+		for i := 0; i < 15; i++ {
+			out := m.HandleTouch(onSensorEvent(at), current)
+			at += time.Second
+			if epoch == 7 {
+				finalTouches++
+				if out.Kind == Matched {
+					finalMatched++
+				}
+			}
+		}
+	}
+	if float64(finalMatched)/float64(finalTouches) < 0.5 {
+		t.Fatalf("adaptive module matched only %d/%d after 1.8 mm drift", finalMatched, finalTouches)
+	}
+}
+
+func TestTransferCarriesAllTemplates(t *testing.T) {
+	ca, err := pki.NewCA("trust-root", pki.NewDeterministicRand(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldDev, err := New(DefaultConfig(testPlacement()), ca, "old", 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDev, err := New(DefaultConfig(testPlacement()), ca, "new", 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := fingerprint.Synthesize(1111, fingerprint.Loop)
+	bob := fingerprint.Synthesize(2222, fingerprint.Whorl)
+	oldDev.EnrollNamed("alice", fingerprint.NewTemplate(alice))
+	oldDev.EnrollNamed("bob", fingerprint.NewTemplate(bob))
+	now := verifiedNow(t, oldDev, alice)
+	blob, err := oldDev.ExportIdentity(now, newDev.DeviceCert())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newDev.ImportIdentity(blob); err != nil {
+		t.Fatal(err)
+	}
+	names := newDev.EnrolledNames()
+	if len(names) != 2 {
+		t.Fatalf("transferred templates %v", names)
+	}
+}

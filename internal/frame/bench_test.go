@@ -1,0 +1,61 @@
+package frame
+
+import (
+	"testing"
+	"time"
+
+	"trust/internal/geom"
+)
+
+func benchPage() *Page {
+	return &Page{
+		URL:      "https://bank.example/home",
+		Title:    "home",
+		Body:     "Account overview with a reasonable amount of body text to hash.",
+		HeightPX: 2400,
+		Elements: []Element{
+			{ID: "b1", Kind: Button, Label: "Statement", Action: "view-statement", Bounds: geom.RectWH(180, 660, 120, 120)},
+			{ID: "t1", Kind: Text, Label: "Balance: $2,409.12", Bounds: geom.RectWH(60, 160, 360, 60)},
+		},
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	p := benchPage()
+	v := View{Zoom: 1.5, ScrollY: 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(p, v)
+	}
+}
+
+func BenchmarkHashEngine(b *testing.B) {
+	e := NewHashEngine()
+	fb := Render(benchPage(), View{Zoom: 1})
+	b.SetBytes(int64(len(fb)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Sum(fb)
+	}
+}
+
+func BenchmarkPossibleHashes(b *testing.B) {
+	p := benchPage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PossibleHashes(p, 800)
+	}
+}
+
+func BenchmarkAudit(b *testing.B) {
+	p := benchPage()
+	served := map[string]*Page{p.URL: p}
+	var log AuditLog
+	for i, v := range StandardViews(p, 800) {
+		log.Append(AuditEntry{Account: "a", PageURL: p.URL, Hash: HashBytes(Render(p, v)), At: time.Duration(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Audit(&log, served, 800)
+	}
+}

@@ -1,0 +1,58 @@
+package fuzzyvault
+
+import (
+	"testing"
+
+	"trust/internal/fingerprint"
+	"trust/internal/sim"
+)
+
+func BenchmarkMul(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Mul(Elem(i), Elem(i*7+3))
+	}
+}
+
+func BenchmarkInterpolate9(b *testing.B) {
+	rng := sim.NewRNG(1)
+	xs := make([]Elem, 9)
+	ys := make([]Elem, 9)
+	seen := map[Elem]bool{}
+	for i := 0; i < 9; {
+		x := Elem(rng.Uint64())
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		xs[i] = x
+		ys[i] = Elem(rng.Uint64())
+		i++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Interpolate(xs, ys)
+	}
+}
+
+func BenchmarkUnlockGenuineFull(b *testing.B) {
+	rng := sim.NewRNG(2)
+	f := fingerprint.Synthesize(5, fingerprint.Loop)
+	p := DefaultParams()
+	secret := make([]Elem, p.SecretLen())
+	v, err := Lock(fingerprint.NewTemplate(f), secret, p, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var probe []fingerprint.Minutia
+	for _, m := range f.Minutiae() {
+		m.Pos.X += rng.Normal(0, 0.1)
+		m.Pos.Y += rng.Normal(0, 0.1)
+		probe = append(probe, m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := v.Unlock(probe, p, rng); !ok {
+			b.Fatal("genuine unlock failed")
+		}
+	}
+}

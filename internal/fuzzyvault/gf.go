@@ -1,0 +1,111 @@
+// Package fuzzyvault implements the fingerprint fuzzy vault of the
+// paper's related work (Uludag/Pankanti/Jain [23], [14], [22]): a
+// secret polynomial over GF(2^16) hidden among chaff points, unlockable
+// only with a minutiae set close to the enrolled one. The paper argues
+// the construction is unsuitable for continuous touch authentication —
+// its ~10% full-print false-reject rate gets far worse on the small,
+// unaligned partial captures opportunistic sensing delivers — and
+// experiment X7 reproduces exactly that comparison against the TRUST
+// matcher.
+package fuzzyvault
+
+// gfPoly is the reducing polynomial for GF(2^16):
+// x^16 + x^12 + x^3 + x + 1.
+const gfPoly uint32 = 0x1100B
+
+// Elem is a GF(2^16) field element.
+type Elem uint16
+
+// Add is addition in GF(2^16) (XOR).
+func Add(a, b Elem) Elem { return a ^ b }
+
+// Mul multiplies in GF(2^16) (carry-less multiply + reduction).
+func Mul(a, b Elem) Elem {
+	var acc uint32
+	x, y := uint32(a), uint32(b)
+	for y != 0 {
+		if y&1 != 0 {
+			acc ^= x
+		}
+		x <<= 1
+		if x&0x10000 != 0 {
+			x ^= gfPoly
+		}
+		y >>= 1
+	}
+	return Elem(acc)
+}
+
+// Inv returns the multiplicative inverse (a^(2^16-2)); Inv(0) panics.
+func Inv(a Elem) Elem {
+	if a == 0 {
+		panic("fuzzyvault: inverse of zero")
+	}
+	// Exponentiation by squaring: a^(65534).
+	result := Elem(1)
+	base := a
+	exp := uint32(1<<16 - 2)
+	for exp > 0 {
+		if exp&1 != 0 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		exp >>= 1
+	}
+	return result
+}
+
+// Div divides a by b.
+func Div(a, b Elem) Elem { return Mul(a, Inv(b)) }
+
+// Poly is a polynomial over GF(2^16), coefficient i multiplying x^i.
+type Poly []Elem
+
+// Eval evaluates the polynomial at x (Horner).
+func (p Poly) Eval(x Elem) Elem {
+	var y Elem
+	for i := len(p) - 1; i >= 0; i-- {
+		y = Add(Mul(y, x), p[i])
+	}
+	return y
+}
+
+// Interpolate returns the unique polynomial of degree < len(points)
+// through the given (x, y) points (Lagrange). X values must be
+// distinct; duplicates panic.
+func Interpolate(xs, ys []Elem) Poly {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		panic("fuzzyvault: bad interpolation input")
+	}
+	out := make(Poly, n)
+	// For each basis polynomial L_i, accumulate y_i * L_i.
+	for i := 0; i < n; i++ {
+		// numer = prod_{j!=i} (x - xs[j]) as coefficients; denom =
+		// prod_{j!=i} (xs[i] - xs[j]).
+		numer := make(Poly, 1, n)
+		numer[0] = 1
+		denom := Elem(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if xs[i] == xs[j] {
+				panic("fuzzyvault: duplicate interpolation x")
+			}
+			// numer *= (x + xs[j])  (characteristic 2: minus == plus)
+			next := make(Poly, len(numer)+1)
+			for d, c := range numer {
+				next[d+1] = Add(next[d+1], c)         // * x
+				next[d] = Add(next[d], Mul(c, xs[j])) // * xs[j]
+			}
+			numer = next
+			denom = Mul(denom, Add(xs[i], xs[j]))
+		}
+		scale := Div(ys[i], denom)
+		for d, c := range numer {
+			out[d] = Add(out[d], Mul(c, scale))
+		}
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package fuzzyvault
+
+import (
+	"testing"
+	"testing/quick"
+
+	"trust/internal/fingerprint"
+	"trust/internal/geom"
+	"trust/internal/sim"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	if err := quick.Check(func(a, b, c uint16) bool {
+		x, y, z := Elem(a), Elem(b), Elem(c)
+		// Commutativity and associativity of Mul; distributivity.
+		if Mul(x, y) != Mul(y, x) {
+			return false
+		}
+		if Mul(Mul(x, y), z) != Mul(x, Mul(y, z)) {
+			return false
+		}
+		if Mul(x, Add(y, z)) != Add(Mul(x, y), Mul(x, z)) {
+			return false
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFInverse(t *testing.T) {
+	if err := quick.Check(func(a uint16) bool {
+		if a == 0 {
+			return true
+		}
+		x := Elem(a)
+		return Mul(x, Inv(x)) == 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestInterpolateRecoversPolynomial(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(10)
+		poly := make(Poly, k)
+		for i := range poly {
+			poly[i] = Elem(rng.Uint64())
+		}
+		xs := make([]Elem, k)
+		ys := make([]Elem, k)
+		seen := map[Elem]bool{}
+		for i := 0; i < k; {
+			x := Elem(rng.Uint64())
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			xs[i] = x
+			ys[i] = poly.Eval(x)
+			i++
+		}
+		got := Interpolate(xs, ys)
+		for i := range poly {
+			if got[i] != poly[i] {
+				t.Fatalf("trial %d: coefficient %d: got %v want %v", trial, i, got[i], poly[i])
+			}
+		}
+	}
+}
+
+func TestInterpolateDuplicateXPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate x did not panic")
+		}
+	}()
+	Interpolate([]Elem{1, 1}, []Elem{2, 3})
+}
+
+// alignedProbe returns the finger's minutiae with small sensing noise,
+// in the finger frame (the oracle-aligned case). A positive radius
+// keeps only minutiae within a contact patch around center — pass a
+// jittered center to model where touches actually land.
+func alignedProbe(f *fingerprint.Finger, rng *sim.RNG, center geom.Point, radius float64) []fingerprint.Minutia {
+	var out []fingerprint.Minutia
+	for _, m := range f.Minutiae() {
+		if radius > 0 && m.Pos.Dist(center) > radius {
+			continue
+		}
+		m.Pos.X += rng.Normal(0, 0.12)
+		m.Pos.Y += rng.Normal(0, 0.12)
+		m.Angle += rng.Normal(0, 0.05)
+		out = append(out, m)
+	}
+	return out
+}
+
+// touchCenter draws a realistic contact centre: touches land all over
+// the fingertip, not at its exact centre.
+func touchCenter(f *fingerprint.Finger, rng *sim.RNG) geom.Point {
+	c := f.Bounds().Center()
+	return geom.Point{X: c.X + rng.Normal(0, 3), Y: c.Y + rng.Normal(0, 3.5)}
+}
+
+func lockedVault(t *testing.T, f *fingerprint.Finger, rng *sim.RNG) (*Vault, []Elem) {
+	t.Helper()
+	p := DefaultParams()
+	secret := make([]Elem, p.SecretLen())
+	for i := range secret {
+		secret[i] = Elem(rng.Uint64())
+	}
+	v, err := Lock(fingerprint.NewTemplate(f), secret, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, secret
+}
+
+func TestVaultUnlocksWithGenuineFullPrint(t *testing.T) {
+	rng := sim.NewRNG(2)
+	success := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		f := fingerprint.Synthesize(uint64(100+i), fingerprint.Loop)
+		v, secret := lockedVault(t, f, rng)
+		got, ok := v.Unlock(alignedProbe(f, rng, f.Bounds().Center(), 0), DefaultParams(), rng)
+		if !ok {
+			continue
+		}
+		match := true
+		for j := range secret {
+			if got[j] != secret[j] {
+				match = false
+			}
+		}
+		if !match {
+			t.Fatal("unlocked with a WRONG secret (CRC collision?)")
+		}
+		success++
+	}
+	// The published implementations report ~90% genuine accept on full
+	// prints; require at least 7/10 here.
+	if success < 7 {
+		t.Fatalf("full-print unlock succeeded only %d/%d", success, trials)
+	}
+}
+
+func TestVaultImpostorFAR(t *testing.T) {
+	// The vault checks a bag of points with NO global geometric
+	// consistency, so impostors whose minutia angles cluster like the
+	// enrolled finger's occasionally decode — a documented weakness of
+	// the construction, and part of why the paper rejects it. Bound the
+	// false-accept rate rather than demanding zero.
+	rng := sim.NewRNG(3)
+	unlocks := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		enrolled := fingerprint.Synthesize(uint64(200+i), fingerprint.Loop)
+		impostor := fingerprint.Synthesize(uint64(900+i), fingerprint.Whorl)
+		v, _ := lockedVault(t, enrolled, rng)
+		if _, ok := v.Unlock(alignedProbe(impostor, rng, impostor.Bounds().Center(), 0), DefaultParams(), rng); ok {
+			unlocks++
+		}
+	}
+	if unlocks > 2 {
+		t.Fatalf("impostors unlocked the vault %d/%d times", unlocks, trials)
+	}
+}
+
+func TestVaultFailsOnUnalignedCapture(t *testing.T) {
+	// The realistic opportunistic case: capture-frame minutiae carry an
+	// unknown rotation/translation. The vault has no alignment search,
+	// so unlocking must fail — the paper's second objection.
+	rng := sim.NewRNG(4)
+	f := fingerprint.Synthesize(300, fingerprint.Loop)
+	v, _ := lockedVault(t, f, rng)
+	c := fingerprint.Contact{
+		Center: geom.Point{X: 8, Y: 10}, Radius: 4.2, Pressure: 0.8, SpeedMMS: 1, Rotation: 0.3,
+	}
+	unlocks := 0
+	for i := 0; i < 5; i++ {
+		cap := fingerprint.Acquire(f, c, rng)
+		if _, ok := v.Unlock(cap.Minutiae, DefaultParams(), rng); ok {
+			unlocks++
+		}
+	}
+	if unlocks > 0 {
+		t.Fatalf("unaligned captures unlocked the vault %d/5 times", unlocks)
+	}
+}
+
+func TestVaultDegradesOnPartialCaptures(t *testing.T) {
+	// Even with ORACLE alignment, a 4.2 mm partial patch rarely holds
+	// the 9+ tolerant matches decoding needs.
+	rng := sim.NewRNG(5)
+	full, partial := 0, 0
+	const trials = 8
+	for i := 0; i < trials; i++ {
+		f := fingerprint.Synthesize(uint64(400+i), fingerprint.Loop)
+		v, _ := lockedVault(t, f, rng)
+		if _, ok := v.Unlock(alignedProbe(f, rng, f.Bounds().Center(), 0), DefaultParams(), rng); ok {
+			full++
+		}
+		if _, ok := v.Unlock(alignedProbe(f, rng, touchCenter(f, rng), 4.2), DefaultParams(), rng); ok {
+			partial++
+		}
+	}
+	if partial >= full {
+		t.Fatalf("partial captures unlocked as often as full prints (%d vs %d)", partial, full)
+	}
+}
+
+func TestLockValidatesInput(t *testing.T) {
+	rng := sim.NewRNG(6)
+	f := fingerprint.Synthesize(1, fingerprint.Loop)
+	p := DefaultParams()
+	if _, err := Lock(fingerprint.NewTemplate(f), make([]Elem, 3), p, rng); err == nil {
+		t.Fatal("wrong secret length accepted")
+	}
+	sparse := &fingerprint.Template{Minutiae: f.Minutiae()[:3]}
+	if _, err := Lock(sparse, make([]Elem, p.SecretLen()), p, rng); err == nil {
+		t.Fatal("sparse template accepted")
+	}
+}
+
+func TestVaultChaffCount(t *testing.T) {
+	rng := sim.NewRNG(7)
+	f := fingerprint.Synthesize(8, fingerprint.Loop)
+	v, _ := lockedVault(t, f, rng)
+	p := DefaultParams()
+	if len(v.Points) < p.Chaff {
+		t.Fatalf("vault has %d points, expected >= %d chaff", len(v.Points), p.Chaff)
+	}
+}

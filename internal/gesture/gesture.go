@@ -1,0 +1,146 @@
+// Package gesture implements touch-gesture behavioural authentication
+// from the paper's related work (De Luca et al. [6], Feng et al. [8],
+// SenGuard [19]): per-user statistical profiles over gesture features —
+// pressure, contact size, rhythm, swipe kinematics — verified with the
+// same windowed z-score machinery as keystroke dynamics. It is the
+// third modality in the X8 comparison.
+package gesture
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"trust/internal/geom"
+	"trust/internal/keystroke"
+	"trust/internal/sim"
+	"trust/internal/touch"
+)
+
+// featureCount is the dimensionality of the gesture feature vector.
+const featureCount = 6
+
+// WindowSize is how many touch events one verification decision
+// consumes.
+const WindowSize = 15
+
+// features summarizes a window of touch events: pressure mean/std,
+// contact radius mean, inter-touch rhythm mean, swipe speed mean, and
+// swipe fraction.
+func features(events []touch.Event) [featureCount]float64 {
+	var out [featureCount]float64
+	if len(events) == 0 {
+		return out
+	}
+	var pSum, pSq, rSum, speedSum float64
+	var swipes int
+	var gapSum float64
+	for i, e := range events {
+		pSum += e.Pressure
+		pSq += e.Pressure * e.Pressure
+		rSum += e.RadiusMM
+		if e.Kind == touch.Swipe {
+			swipes++
+			speedSum += e.SpeedMMS
+		}
+		if i > 0 {
+			gapSum += float64(e.At - events[i-1].At)
+		}
+	}
+	n := float64(len(events))
+	out[0] = pSum / n
+	out[1] = math.Sqrt(math.Max(0, pSq/n-out[0]*out[0]))
+	out[2] = rSum / n
+	if len(events) > 1 {
+		out[3] = gapSum / (n - 1) / float64(time.Second)
+	}
+	if swipes > 0 {
+		out[4] = speedSum / float64(swipes)
+	}
+	out[5] = float64(swipes) / n
+	return out
+}
+
+// Profile is an enrolled gesture profile.
+type Profile struct {
+	mean [featureCount]float64
+	std  [featureCount]float64
+}
+
+// Enroll builds a profile from a training session split into windows
+// (at least 5 windows of WindowSize events).
+func Enroll(training []touch.Event) (*Profile, error) {
+	nWin := len(training) / WindowSize
+	if nWin < 5 {
+		return nil, errors.New("gesture: need at least 5 training windows")
+	}
+	var feats [][featureCount]float64
+	for w := 0; w < nWin; w++ {
+		feats = append(feats, features(training[w*WindowSize:(w+1)*WindowSize]))
+	}
+	var p Profile
+	for d := 0; d < featureCount; d++ {
+		sum := 0.0
+		for _, f := range feats {
+			sum += f[d]
+		}
+		p.mean[d] = sum / float64(len(feats))
+		varSum := 0.0
+		for _, f := range feats {
+			varSum += (f[d] - p.mean[d]) * (f[d] - p.mean[d])
+		}
+		// Variability floor keeps degenerate features from dominating.
+		p.std[d] = math.Sqrt(varSum/float64(len(feats))) + 1e-3
+	}
+	return &p, nil
+}
+
+// Score returns the normalized distance of a probe window from the
+// profile — lower is more similar.
+func (p *Profile) Score(probe []touch.Event) float64 {
+	f := features(probe)
+	d := 0.0
+	for i := 0; i < featureCount; i++ {
+		d += math.Abs(f[i]-p.mean[i]) / p.std[i]
+	}
+	return d / featureCount
+}
+
+// EvaluateEER measures the population equal-error rate over the given
+// user models (the Fig 7 reference users differ in grip, pressure, and
+// rhythm). probesPerUser windows are scored genuine and impostor each.
+func EvaluateEER(users []touch.UserModel, screen geom.Rect, probesPerUser int, rng *sim.RNG) (keystroke.EERResult, error) {
+	if len(users) < 2 {
+		return keystroke.EERResult{}, errors.New("gesture: need at least 2 users")
+	}
+	profiles := make([]*Profile, len(users))
+	for i, u := range users {
+		s, err := touch.GenerateSession(u, screen, WindowSize*8, rng)
+		if err != nil {
+			return keystroke.EERResult{}, err
+		}
+		p, err := Enroll(s.Events)
+		if err != nil {
+			return keystroke.EERResult{}, err
+		}
+		profiles[i] = p
+	}
+	var genuine, impostor []float64
+	for i, u := range users {
+		for p := 0; p < probesPerUser; p++ {
+			gs, err := touch.GenerateSession(u, screen, WindowSize, rng)
+			if err != nil {
+				return keystroke.EERResult{}, err
+			}
+			genuine = append(genuine, profiles[i].Score(gs.Events))
+			j := (i + 1 + rng.Intn(len(users)-1)) % len(users)
+			is, err := touch.GenerateSession(users[j], screen, WindowSize, rng)
+			if err != nil {
+				return keystroke.EERResult{}, err
+			}
+			impostor = append(impostor, profiles[i].Score(is.Events))
+		}
+	}
+	eer, thr := keystroke.ComputeEER(genuine, impostor)
+	return keystroke.EERResult{EER: eer, Threshold: thr, Genuine: len(genuine), Impostor: len(impostor)}, nil
+}

@@ -1,0 +1,87 @@
+package gesture
+
+import (
+	"testing"
+
+	"trust/internal/geom"
+	"trust/internal/sim"
+	"trust/internal/touch"
+)
+
+var screen = geom.RectWH(0, 0, 480, 800)
+
+func TestEnrollNeedsData(t *testing.T) {
+	rng := sim.NewRNG(1)
+	u := touch.ReferenceUsers()[0]
+	short, err := touch.GenerateSession(u, screen, WindowSize*2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Enroll(short.Events); err == nil {
+		t.Fatal("sparse enrolment accepted")
+	}
+	long, err := touch.GenerateSession(u, screen, WindowSize*8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Enroll(long.Events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenuineScoresLower(t *testing.T) {
+	rng := sim.NewRNG(2)
+	users := touch.ReferenceUsers()
+	// Make the users more behaviourally distinct for this pairwise
+	// check: the reference models differ mostly in location, so tweak
+	// pressure/speed too.
+	users[0].PressureMean = 0.45
+	users[1].PressureMean = 0.8
+	users[1].SwipeSpeedMMS = 150
+	train, _ := touch.GenerateSession(users[0], screen, WindowSize*10, rng)
+	p, err := Enroll(train.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gSum, iSum float64
+	const n = 30
+	for i := 0; i < n; i++ {
+		g, _ := touch.GenerateSession(users[0], screen, WindowSize, rng)
+		im, _ := touch.GenerateSession(users[1], screen, WindowSize, rng)
+		gSum += p.Score(g.Events)
+		iSum += p.Score(im.Events)
+	}
+	if gSum/n >= iSum/n {
+		t.Fatalf("genuine mean %.3f not below impostor mean %.3f", gSum/n, iSum/n)
+	}
+}
+
+func TestPopulationEERReasonable(t *testing.T) {
+	rng := sim.NewRNG(3)
+	res, err := EvaluateEER(distinctUsers(), screen, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Behavioural gesture auth: published EERs ~5-25%. It must be
+	// usable but clearly worse than fingerprints.
+	if res.EER < 0.01 || res.EER > 0.45 {
+		t.Fatalf("gesture EER %.3f outside plausible band", res.EER)
+	}
+}
+
+func TestEvaluateEERValidation(t *testing.T) {
+	rng := sim.NewRNG(4)
+	if _, err := EvaluateEER(touch.ReferenceUsers()[:1], screen, 5, rng); err == nil {
+		t.Fatal("single-user population accepted")
+	}
+}
+
+// distinctUsers builds a population with realistic behavioural spread.
+func distinctUsers() []touch.UserModel {
+	users := touch.ReferenceUsers()
+	users[0].PressureMean, users[0].SwipeSpeedMMS = 0.45, 70
+	users[1].PressureMean, users[1].SwipeSpeedMMS = 0.70, 120
+	users[2].PressureMean, users[2].SwipeSpeedMMS = 0.60, 95
+	users[2].ContactRadiusMeanMM = 3.4
+	return users
+}

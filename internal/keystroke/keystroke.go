@@ -1,0 +1,218 @@
+// Package keystroke implements the keystroke-dynamics implicit
+// authentication of the paper's related work (Clarke & Furnell [5],
+// Hwang et al. [17], Maiorana et al. [11]): per-user typing-rhythm
+// models, a statistical verifier over hold/flight-time features, and
+// population EER evaluation. Experiment X8 compares this behavioural
+// modality against the paper's fingerprint-touch design.
+package keystroke
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+
+	"trust/internal/sim"
+)
+
+// Keystroke is one key press: how long the key was held and the flight
+// time since the previous key's release.
+type Keystroke struct {
+	Hold   time.Duration
+	Flight time.Duration
+}
+
+// UserTypingModel is one user's typing rhythm. Parameters are drawn
+// from population distributions calibrated to published mobile
+// keystroke studies (hold ~60-140 ms, flight ~120-280 ms).
+type UserTypingModel struct {
+	Name       string
+	HoldMean   time.Duration
+	HoldStd    time.Duration
+	FlightMean time.Duration
+	FlightStd  time.Duration
+	// SessionDrift scales day-to-day variation of the user's means.
+	SessionDrift float64
+}
+
+// NewUserModel draws a user from the population.
+func NewUserModel(name string, rng *sim.RNG) UserTypingModel {
+	return UserTypingModel{
+		Name:         name,
+		HoldMean:     time.Duration(rng.Normal(95e6, 18e6)),
+		HoldStd:      time.Duration(math.Abs(rng.Normal(20e6, 5e6)) + 5e6),
+		FlightMean:   time.Duration(rng.Normal(185e6, 40e6)),
+		FlightStd:    time.Duration(math.Abs(rng.Normal(48e6, 10e6)) + 10e6),
+		SessionDrift: 0.05 + 0.05*rng.Float64(),
+	}
+}
+
+// Sample generates one typing session of n keystrokes. Each session
+// drifts slightly from the user's long-term means, as real rhythm does.
+func (m UserTypingModel) Sample(n int, rng *sim.RNG) []Keystroke {
+	driftH := rng.Normal(1, m.SessionDrift)
+	driftF := rng.Normal(1, m.SessionDrift)
+	out := make([]Keystroke, n)
+	for i := range out {
+		h := rng.Normal(float64(m.HoldMean)*driftH, float64(m.HoldStd))
+		f := rng.Normal(float64(m.FlightMean)*driftF, float64(m.FlightStd))
+		if h < 15e6 {
+			h = 15e6
+		}
+		if f < 20e6 {
+			f = 20e6
+		}
+		out[i] = Keystroke{Hold: time.Duration(h), Flight: time.Duration(f)}
+	}
+	return out
+}
+
+// Duration returns the wall time a keystroke sequence takes.
+func Duration(ks []Keystroke) time.Duration {
+	var d time.Duration
+	for _, k := range ks {
+		d += k.Hold + k.Flight
+	}
+	return d
+}
+
+// features extracts the verifier's feature vector from a window.
+func features(ks []Keystroke) [4]float64 {
+	var hSum, fSum float64
+	for _, k := range ks {
+		hSum += float64(k.Hold)
+		fSum += float64(k.Flight)
+	}
+	n := float64(len(ks))
+	hMean, fMean := hSum/n, fSum/n
+	var hVar, fVar float64
+	for _, k := range ks {
+		hVar += (float64(k.Hold) - hMean) * (float64(k.Hold) - hMean)
+		fVar += (float64(k.Flight) - fMean) * (float64(k.Flight) - fMean)
+	}
+	return [4]float64{hMean, math.Sqrt(hVar / n), fMean, math.Sqrt(fVar / n)}
+}
+
+// Profile is an enrolled typing profile: feature means and their
+// across-window variability.
+type Profile struct {
+	mean [4]float64
+	std  [4]float64
+}
+
+// WindowSize is the verification window: published mobile keystroke
+// systems decide on 10-30 keystrokes.
+const WindowSize = 20
+
+// Enroll builds a profile from training keystrokes, split into
+// windows. It needs at least 5 windows.
+func Enroll(training []Keystroke) (*Profile, error) {
+	nWin := len(training) / WindowSize
+	if nWin < 5 {
+		return nil, errors.New("keystroke: need at least 5 training windows")
+	}
+	var feats [][4]float64
+	for w := 0; w < nWin; w++ {
+		feats = append(feats, features(training[w*WindowSize:(w+1)*WindowSize]))
+	}
+	var p Profile
+	for d := 0; d < 4; d++ {
+		sum := 0.0
+		for _, f := range feats {
+			sum += f[d]
+		}
+		p.mean[d] = sum / float64(len(feats))
+		varSum := 0.0
+		for _, f := range feats {
+			varSum += (f[d] - p.mean[d]) * (f[d] - p.mean[d])
+		}
+		p.std[d] = math.Sqrt(varSum/float64(len(feats))) + 1e6 // floor: 1 ms
+	}
+	return &p, nil
+}
+
+// Score returns the normalized distance of a probe window from the
+// profile — lower is more similar.
+func (p *Profile) Score(probe []Keystroke) float64 {
+	f := features(probe)
+	d := 0.0
+	for i := 0; i < 4; i++ {
+		d += math.Abs(f[i]-p.mean[i]) / p.std[i]
+	}
+	return d / 4
+}
+
+// EERResult reports a population evaluation.
+type EERResult struct {
+	EER       float64
+	Threshold float64
+	Genuine   int
+	Impostor  int
+}
+
+// EvaluateEER enrolls every user and scores genuine vs impostor probe
+// windows across the population, returning the equal-error rate.
+func EvaluateEER(users int, probesPerUser int, rng *sim.RNG) (EERResult, error) {
+	if users < 2 {
+		return EERResult{}, errors.New("keystroke: need at least 2 users")
+	}
+	models := make([]UserTypingModel, users)
+	profiles := make([]*Profile, users)
+	for i := range models {
+		models[i] = NewUserModel("user", rng.Fork(uint64(i)))
+		p, err := Enroll(models[i].Sample(WindowSize*8, rng))
+		if err != nil {
+			return EERResult{}, err
+		}
+		profiles[i] = p
+	}
+	var genuine, impostor []float64
+	for i := range models {
+		for p := 0; p < probesPerUser; p++ {
+			genuine = append(genuine, profiles[i].Score(models[i].Sample(WindowSize, rng)))
+			j := (i + 1 + rng.Intn(users-1)) % users
+			impostor = append(impostor, profiles[i].Score(models[j].Sample(WindowSize, rng)))
+		}
+	}
+	eer, thr := computeEER(genuine, impostor)
+	return EERResult{EER: eer, Threshold: thr, Genuine: len(genuine), Impostor: len(impostor)}, nil
+}
+
+// computeEER finds the threshold where false-reject and false-accept
+// rates cross. Genuine scores should be LOW (accept when score <=
+// threshold).
+func computeEER(genuine, impostor []float64) (eer, threshold float64) {
+	all := append(append([]float64{}, genuine...), impostor...)
+	sort.Float64s(all)
+	best := math.Inf(1)
+	for _, t := range all {
+		fr := 0
+		for _, g := range genuine {
+			if g > t {
+				fr++
+			}
+		}
+		fa := 0
+		for _, im := range impostor {
+			if im <= t {
+				fa++
+			}
+		}
+		frr := float64(fr) / float64(len(genuine))
+		far := float64(fa) / float64(len(impostor))
+		if gap := math.Abs(frr - far); gap < best {
+			best = gap
+			eer = (frr + far) / 2
+			threshold = t
+		}
+	}
+	return eer, threshold
+}
+
+// ComputeEER is exported for cross-modality comparisons (X8 feeds the
+// fingerprint matcher's score distributions through the same
+// computation, with signs flipped since match scores are HIGH for
+// genuine).
+func ComputeEER(genuineLow, impostorLow []float64) (eer, threshold float64) {
+	return computeEER(genuineLow, impostorLow)
+}

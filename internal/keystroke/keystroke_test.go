@@ -1,0 +1,96 @@
+package keystroke
+
+import (
+	"testing"
+	"time"
+
+	"trust/internal/sim"
+)
+
+func TestSamplePlausible(t *testing.T) {
+	rng := sim.NewRNG(1)
+	m := NewUserModel("u", rng)
+	ks := m.Sample(200, rng)
+	if len(ks) != 200 {
+		t.Fatalf("%d keystrokes", len(ks))
+	}
+	for i, k := range ks {
+		if k.Hold < 15*time.Millisecond || k.Hold > 400*time.Millisecond {
+			t.Fatalf("keystroke %d hold %v implausible", i, k.Hold)
+		}
+		if k.Flight < 20*time.Millisecond || k.Flight > 800*time.Millisecond {
+			t.Fatalf("keystroke %d flight %v implausible", i, k.Flight)
+		}
+	}
+	d := Duration(ks)
+	if d < 10*time.Second || d > 2*time.Minute {
+		t.Fatalf("200 keystrokes took %v", d)
+	}
+}
+
+func TestEnrollNeedsEnoughData(t *testing.T) {
+	rng := sim.NewRNG(2)
+	m := NewUserModel("u", rng)
+	if _, err := Enroll(m.Sample(WindowSize*2, rng)); err == nil {
+		t.Fatal("sparse enrolment accepted")
+	}
+	if _, err := Enroll(m.Sample(WindowSize*8, rng)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenuineScoresLowerThanImpostor(t *testing.T) {
+	rng := sim.NewRNG(3)
+	a := NewUserModel("a", rng)
+	b := NewUserModel("b", rng)
+	p, err := Enroll(a.Sample(WindowSize*8, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gSum, iSum float64
+	const n = 40
+	for i := 0; i < n; i++ {
+		gSum += p.Score(a.Sample(WindowSize, rng))
+		iSum += p.Score(b.Sample(WindowSize, rng))
+	}
+	if gSum/n >= iSum/n {
+		t.Fatalf("genuine mean %.2f not below impostor mean %.2f", gSum/n, iSum/n)
+	}
+}
+
+func TestPopulationEERInLiteratureBand(t *testing.T) {
+	rng := sim.NewRNG(4)
+	res, err := EvaluateEER(16, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published mobile keystroke-dynamics EERs sit roughly at 5-20%.
+	if res.EER < 0.02 || res.EER > 0.30 {
+		t.Fatalf("keystroke EER %.3f outside the plausible band", res.EER)
+	}
+	if res.Genuine == 0 || res.Impostor == 0 {
+		t.Fatal("no probes evaluated")
+	}
+}
+
+func TestEvaluateEERValidation(t *testing.T) {
+	rng := sim.NewRNG(5)
+	if _, err := EvaluateEER(1, 5, rng); err == nil {
+		t.Fatal("single-user population accepted")
+	}
+}
+
+func TestComputeEERPerfectSeparation(t *testing.T) {
+	eer, _ := ComputeEER([]float64{0.1, 0.2, 0.3}, []float64{5, 6, 7})
+	if eer > 1e-9 {
+		t.Fatalf("perfectly separated EER = %v", eer)
+	}
+}
+
+func TestComputeEERTotalOverlap(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5}
+	eer, _ := ComputeEER(same, same)
+	if eer < 0.3 || eer > 0.7 {
+		t.Fatalf("identical-distribution EER = %v, want ~0.5", eer)
+	}
+}

@@ -1,0 +1,66 @@
+package pki
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// Fuzz targets run their seed corpus as part of `go test`; use
+// `go test -fuzz=FuzzX ./internal/pki` for open-ended fuzzing.
+
+func FuzzOpenNeverPanics(f *testing.F) {
+	rand := NewDeterministicRand(1)
+	key, _ := NewSessionKey(rand)
+	sealed, _ := Seal(key, []byte("seed plaintext"), []byte("aad"), rand)
+	f.Add(sealed, []byte("aad"))
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 2, 3}, []byte(nil))
+	f.Add(bytes.Repeat([]byte{0xff}, 64), []byte("x"))
+	f.Fuzz(func(t *testing.T, blob, aad []byte) {
+		// Open must never panic on arbitrary input, and a successful
+		// open of a mutated blob would be a forgery.
+		pt, err := Open(key, blob, aad)
+		if err == nil && !bytes.Equal(pt, []byte("seed plaintext")) {
+			t.Fatalf("forged plaintext accepted: %q", pt)
+		}
+	})
+}
+
+func FuzzDecryptWithNeverPanics(f *testing.F) {
+	rand := NewDeterministicRand(2)
+	pair, _ := GenerateKemPair(rand)
+	blob, _ := EncryptTo(pair.Public.Bytes(), []byte("secret"), rand)
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{7}, 31))
+	f.Add(bytes.Repeat([]byte{7}, 33))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pt, err := DecryptWith(pair.Private, b)
+		if err == nil && !bytes.Equal(pt, []byte("secret")) {
+			t.Fatalf("forged KEM plaintext accepted: %q", pt)
+		}
+	})
+}
+
+func FuzzCertificateJSONVerify(f *testing.F) {
+	ca, _ := NewCA("root", NewDeterministicRand(3))
+	keys, _ := GenerateKeyPair(NewDeterministicRand(4))
+	cert, _ := ca.Issue("subject", RoleServer, keys.Public)
+	honest, _ := json.Marshal(cert)
+	f.Add(honest)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Subject":"x"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Certificate
+		if err := json.Unmarshal(data, &c); err != nil {
+			return
+		}
+		// Verification must never panic, and must only succeed for the
+		// honest certificate bytes.
+		err := c.Verify(ca.PublicKey(), RoleServer)
+		if err == nil && c.Subject != "subject" {
+			t.Fatalf("forged certificate for %q verified", c.Subject)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package pki
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// The paper's protocols encrypt a session key "with the Web Server's
+// public key". ed25519 keys cannot encrypt, so each certificate also
+// carries an X25519 key-agreement key; EncryptTo performs an ephemeral
+// ECDH + AES-GCM hybrid encryption to that key. This preserves the
+// protocol property the paper needs — only the server can recover the
+// session key — using only the standard library.
+
+// KemPair is an X25519 key-agreement pair.
+type KemPair struct {
+	Public  *ecdh.PublicKey
+	Private *ecdh.PrivateKey
+}
+
+// GenerateKemPair creates an X25519 pair from rand.
+func GenerateKemPair(rand io.Reader) (KemPair, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand)
+	if err != nil {
+		return KemPair{}, fmt.Errorf("pki: generating KEM pair: %w", err)
+	}
+	return KemPair{Public: priv.PublicKey(), Private: priv}, nil
+}
+
+// EncryptTo hybrid-encrypts plaintext to the recipient's X25519 public
+// key (raw 32-byte form): ephemeral ECDH, SHA-256 KDF, AES-256-GCM.
+func EncryptTo(recipientKem []byte, plaintext []byte, rand io.Reader) ([]byte, error) {
+	pub, err := ecdh.X25519().NewPublicKey(recipientKem)
+	if err != nil {
+		return nil, fmt.Errorf("pki: recipient KEM key: %w", err)
+	}
+	eph, err := ecdh.X25519().GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("pki: ephemeral KEM key: %w", err)
+	}
+	shared, err := eph.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("pki: ECDH: %w", err)
+	}
+	key := kdf(shared, eph.PublicKey().Bytes(), recipientKem)
+	sealed, err := Seal(key[:], plaintext, eph.PublicKey().Bytes(), rand)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.Write(eph.PublicKey().Bytes()) // 32 bytes
+	out.Write(sealed)
+	return out.Bytes(), nil
+}
+
+// DecryptWith opens an EncryptTo blob with the recipient's private KEM
+// key.
+func DecryptWith(priv *ecdh.PrivateKey, blob []byte) ([]byte, error) {
+	if len(blob) < 32 {
+		return nil, ErrDecrypt
+	}
+	ephBytes, sealed := blob[:32], blob[32:]
+	ephPub, err := ecdh.X25519().NewPublicKey(ephBytes)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	shared, err := priv.ECDH(ephPub)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	key := kdf(shared, ephBytes, priv.PublicKey().Bytes())
+	return Open(key[:], sealed, ephBytes)
+}
+
+func kdf(shared, ephPub, recipientPub []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("trust-kem-v1"))
+	h.Write(shared)
+	h.Write(ephPub)
+	h.Write(recipientPub)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

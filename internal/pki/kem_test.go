@@ -1,0 +1,84 @@
+package pki
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestKemRoundTrip(t *testing.T) {
+	rand := NewDeterministicRand(21)
+	pair, err := GenerateKemPair(rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(pt []byte) bool {
+		blob, err := EncryptTo(pair.Public.Bytes(), pt, rand)
+		if err != nil {
+			return false
+		}
+		out, err := DecryptWith(pair.Private, blob)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, pt)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKemWrongRecipientFails(t *testing.T) {
+	rand := NewDeterministicRand(22)
+	alice, _ := GenerateKemPair(rand)
+	bob, _ := GenerateKemPair(rand)
+	blob, err := EncryptTo(alice.Public.Bytes(), []byte("secret"), rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptWith(bob.Private, blob); err == nil {
+		t.Fatal("wrong recipient decrypted blob")
+	}
+}
+
+func TestKemTamperDetected(t *testing.T) {
+	rand := NewDeterministicRand(23)
+	pair, _ := GenerateKemPair(rand)
+	blob, _ := EncryptTo(pair.Public.Bytes(), []byte("secret"), rand)
+	blob[len(blob)-1] ^= 1
+	if _, err := DecryptWith(pair.Private, blob); err == nil {
+		t.Fatal("tampered KEM blob decrypted")
+	}
+	if _, err := DecryptWith(pair.Private, blob[:10]); err == nil {
+		t.Fatal("truncated KEM blob decrypted")
+	}
+}
+
+func TestKemRejectsBadRecipientKey(t *testing.T) {
+	rand := NewDeterministicRand(24)
+	if _, err := EncryptTo([]byte("short"), []byte("x"), rand); err == nil {
+		t.Fatal("bad recipient key accepted")
+	}
+}
+
+func TestIssueWithKemVerifies(t *testing.T) {
+	ca := newTestCA(t)
+	rand := NewDeterministicRand(25)
+	sign, _ := GenerateKeyPair(rand)
+	kem, _ := GenerateKemPair(rand)
+	cert, err := ca.IssueWithKem("www.xyz.com", RoleServer, sign.Public, kem.Public.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Verify(ca.PublicKey(), RoleServer); err != nil {
+		t.Fatalf("KEM certificate invalid: %v", err)
+	}
+	// Tampering with the KEM key must break the signature.
+	m := cert.Clone()
+	m.KemKey[0] ^= 1
+	if err := m.Verify(ca.PublicKey(), RoleServer); err == nil {
+		t.Fatal("tampered KEM key accepted")
+	}
+	if _, err := ca.IssueWithKem("x", RoleServer, sign.Public, []byte("short")); err == nil {
+		t.Fatal("malformed KEM key accepted at issue")
+	}
+}

@@ -1,0 +1,85 @@
+package pki
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// SessionKeySize is the AES-256 session key length.
+const SessionKeySize = 32
+
+// NewSessionKey draws a fresh session key from rand.
+func NewSessionKey(rand io.Reader) ([]byte, error) {
+	key := make([]byte, SessionKeySize)
+	if _, err := io.ReadFull(rand, key); err != nil {
+		return nil, fmt.Errorf("pki: drawing session key: %w", err)
+	}
+	return key, nil
+}
+
+// MAC computes an HMAC-SHA256 tag over data.
+func MAC(key, data []byte) []byte {
+	h := hmac.New(sha256.New, key)
+	h.Write(data)
+	return h.Sum(nil)
+}
+
+// CheckMAC verifies an HMAC-SHA256 tag in constant time.
+func CheckMAC(key, data, tag []byte) bool {
+	return hmac.Equal(MAC(key, data), tag)
+}
+
+// ErrDecrypt is returned when an AEAD open fails (tampered or
+// mis-keyed ciphertext).
+var ErrDecrypt = errors.New("pki: decryption failed")
+
+// Seal encrypts plaintext with AES-256-GCM under key, binding aad. The
+// nonce is drawn from rand and prepended to the ciphertext.
+func Seal(key, plaintext, aad []byte, rand io.Reader) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rand, nonce); err != nil {
+		return nil, fmt.Errorf("pki: drawing nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, aad), nil
+}
+
+// Open decrypts a Seal output, verifying aad.
+func Open(key, sealed, aad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < aead.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	nonce, ct := sealed[:aead.NonceSize()], sealed[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, ct, aad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	if len(key) != SessionKeySize {
+		return nil, fmt.Errorf("pki: session key must be %d bytes, got %d", SessionKeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("pki: cipher init: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("pki: GCM init: %w", err)
+	}
+	return aead, nil
+}

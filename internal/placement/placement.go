@@ -1,0 +1,279 @@
+// Package placement implements the paper's biometric sensor placement
+// optimization (Section III-A / IV-A): given the non-uniform touch
+// density observed during natural use, choose the number, positions,
+// and sizes of small TFT fingerprint sensors so that as many touches as
+// possible land on biometric-enabled regions while covering only a
+// small fraction of the display area (full coverage being ruled out by
+// cost, power, and scan-time).
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"trust/internal/geom"
+	"trust/internal/touch"
+)
+
+// Placement is one chosen sensor layout.
+type Placement struct {
+	Sensors []geom.Rect // sensor windows in pixel space
+	// Coverage is the fraction of density mass captured by the union of
+	// the sensors (on the training density).
+	Coverage float64
+	// AreaFraction is the union sensor area over the screen area.
+	AreaFraction float64
+}
+
+// Covers reports whether p falls inside any placed sensor.
+func (p Placement) Covers(pt geom.Point) bool {
+	for _, s := range p.Sensors {
+		if s.Contains(pt) {
+			return true
+		}
+	}
+	return false
+}
+
+// SensorAt returns the index of the sensor containing pt, or -1.
+func (p Placement) SensorAt(pt geom.Point) int {
+	for i, s := range p.Sensors {
+		if s.Contains(pt) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Options configures the optimizer.
+type Options struct {
+	SensorWPX, SensorHPX float64 // sensor window size in pixels
+	MaxSensors           int
+	// StridePX is the candidate-position granularity; smaller strides
+	// search more positions. Defaults to half the sensor size.
+	StridePX float64
+	// MinGain stops early when the best remaining candidate adds less
+	// than this much coverage.
+	MinGain float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.StridePX == 0 {
+		o.StridePX = math.Min(o.SensorWPX, o.SensorHPX) / 2
+	}
+	return o
+}
+
+// Validate reports a descriptive error for unusable options.
+func (o Options) Validate() error {
+	if o.SensorWPX <= 0 || o.SensorHPX <= 0 {
+		return fmt.Errorf("placement: non-positive sensor size %vx%v", o.SensorWPX, o.SensorHPX)
+	}
+	if o.MaxSensors <= 0 {
+		return fmt.Errorf("placement: non-positive sensor budget %d", o.MaxSensors)
+	}
+	if o.MinGain < 0 {
+		return fmt.Errorf("placement: negative MinGain")
+	}
+	return nil
+}
+
+// Optimize greedily places up to MaxSensors windows, each step choosing
+// the position adding the most not-yet-covered density mass. Greedy
+// weighted coverage is within (1 - 1/e) of optimal for this submodular
+// objective, which is ample for the paper's design exploration.
+func Optimize(density *touch.DensityGrid, opts Options) (Placement, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return Placement{}, err
+	}
+	screen := density.Screen()
+	cols, rows := density.Size()
+
+	// Cell mass and whether it is already covered.
+	covered := make([]bool, cols*rows)
+	cellMass := make([]float64, cols*rows)
+	total := 0.0
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx < cols; cx++ {
+			m := density.Count(cx, cy)
+			cellMass[cy*cols+cx] = m
+			total += m
+		}
+	}
+	if total == 0 {
+		return Placement{}, fmt.Errorf("placement: empty density grid")
+	}
+
+	// Candidate top-left corners on a stride lattice, clamped so the
+	// window stays on-screen.
+	var candidates []geom.Rect
+	maxX := screen.Max.X - opts.SensorWPX
+	maxY := screen.Max.Y - opts.SensorHPX
+	if maxX < screen.Min.X || maxY < screen.Min.Y {
+		return Placement{}, fmt.Errorf("placement: sensor %vx%v larger than screen", opts.SensorWPX, opts.SensorHPX)
+	}
+	for y := screen.Min.Y; ; y += opts.StridePX {
+		if y > maxY {
+			y = maxY
+		}
+		for x := screen.Min.X; ; x += opts.StridePX {
+			if x > maxX {
+				x = maxX
+			}
+			candidates = append(candidates, geom.RectWH(x, y, opts.SensorWPX, opts.SensorHPX))
+			if x == maxX {
+				break
+			}
+		}
+		if y == maxY {
+			break
+		}
+	}
+
+	gain := func(r geom.Rect) float64 {
+		g := 0.0
+		for cy := 0; cy < rows; cy++ {
+			for cx := 0; cx < cols; cx++ {
+				i := cy*cols + cx
+				if covered[i] || cellMass[i] == 0 {
+					continue
+				}
+				if r.Contains(density.CellRect(cx, cy).Center()) {
+					g += cellMass[i]
+				}
+			}
+		}
+		return g / total
+	}
+
+	var out Placement
+	coveredMass := 0.0
+	for len(out.Sensors) < opts.MaxSensors {
+		bestGain, bestIdx := 0.0, -1
+		for i, c := range candidates {
+			if g := gain(c); g > bestGain {
+				bestGain, bestIdx = g, i
+			}
+		}
+		if bestIdx < 0 || bestGain < opts.MinGain {
+			break
+		}
+		chosen := candidates[bestIdx]
+		out.Sensors = append(out.Sensors, chosen)
+		for cy := 0; cy < rows; cy++ {
+			for cx := 0; cx < cols; cx++ {
+				if chosen.Contains(density.CellRect(cx, cy).Center()) {
+					covered[cy*cols+cx] = true
+				}
+			}
+		}
+		coveredMass += bestGain
+	}
+	out.Coverage = coveredMass
+	out.AreaFraction = unionArea(out.Sensors) / screen.Area()
+	return out, nil
+}
+
+// CoverageCurve returns the greedy coverage after 1..maxK sensors — the
+// X1 ablation ("how many sensors until touches are mostly covered?").
+func CoverageCurve(density *touch.DensityGrid, opts Options, maxK int) ([]float64, error) {
+	opts.MaxSensors = maxK
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	// Run the full greedy once and record cumulative coverage by
+	// re-optimizing with increasing budgets would be O(k^2); instead
+	// exploit that greedy choices are prefix-stable.
+	full, err := Optimize(density, opts)
+	if err != nil {
+		return nil, err
+	}
+	curve := make([]float64, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		if k <= len(full.Sensors) {
+			curve = append(curve, coverageOf(density, full.Sensors[:k]))
+		} else {
+			curve = append(curve, full.Coverage) // greedy saturated early
+		}
+	}
+	return curve, nil
+}
+
+// coverageOf measures the density mass covered by a sensor union.
+func coverageOf(density *touch.DensityGrid, sensors []geom.Rect) float64 {
+	cols, rows := density.Size()
+	mass, total := 0.0, 0.0
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx < cols; cx++ {
+			m := density.Count(cx, cy)
+			total += m
+			if m == 0 {
+				continue
+			}
+			c := density.CellRect(cx, cy).Center()
+			for _, s := range sensors {
+				if s.Contains(c) {
+					mass += m
+					break
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return mass / total
+}
+
+// EvaluateOnSession measures the fraction of a session's touches that
+// land on a placed sensor — held-out evaluation of a trained placement.
+func EvaluateOnSession(p Placement, s *touch.Session) float64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, e := range s.Events {
+		if p.Covers(e.Pos) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(s.Events))
+}
+
+// unionArea computes the exact area of a rectangle union by coordinate
+// compression (sensor counts are small).
+func unionArea(rects []geom.Rect) float64 {
+	if len(rects) == 0 {
+		return 0
+	}
+	var xs, ys []float64
+	for _, r := range rects {
+		xs = append(xs, r.Min.X, r.Max.X)
+		ys = append(ys, r.Min.Y, r.Max.Y)
+	}
+	sortFloats(xs)
+	sortFloats(ys)
+	area := 0.0
+	for i := 0; i+1 < len(xs); i++ {
+		for j := 0; j+1 < len(ys); j++ {
+			cx, cy := (xs[i]+xs[i+1])/2, (ys[j]+ys[j+1])/2
+			for _, r := range rects {
+				if r.Contains(geom.Point{X: cx, Y: cy}) {
+					area += (xs[i+1] - xs[i]) * (ys[j+1] - ys[j])
+					break
+				}
+			}
+		}
+	}
+	return area
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"trust/internal/geom"
+	"trust/internal/sim"
+	"trust/internal/touch"
+)
+
+var screen = geom.RectWH(0, 0, 480, 800)
+
+// trainedDensity builds a density grid from all three reference users.
+func trainedDensity(t *testing.T, perUser int, seed uint64) *touch.DensityGrid {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	g := touch.NewDensityGrid(screen, 24, 40)
+	for _, u := range touch.ReferenceUsers() {
+		s, err := touch.GenerateSession(u, screen, perUser, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.AddSession(s)
+	}
+	return g
+}
+
+func defaultOpts() Options {
+	// 8x8 mm sensors on a 53 mm wide, 480 px screen: ~72x72 px.
+	return Options{SensorWPX: 72, SensorHPX: 72, MaxSensors: 6}
+}
+
+func TestOptimizeValidatesOptions(t *testing.T) {
+	g := trainedDensity(t, 200, 1)
+	bad := []Options{
+		{SensorWPX: 0, SensorHPX: 72, MaxSensors: 3},
+		{SensorWPX: 72, SensorHPX: 72, MaxSensors: 0},
+		{SensorWPX: 72, SensorHPX: 72, MaxSensors: 3, MinGain: -1},
+		{SensorWPX: 1e6, SensorHPX: 72, MaxSensors: 3},
+	}
+	for i, o := range bad {
+		if _, err := Optimize(g, o); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestOptimizeEmptyDensityFails(t *testing.T) {
+	g := touch.NewDensityGrid(screen, 24, 40)
+	if _, err := Optimize(g, defaultOpts()); err == nil {
+		t.Fatal("empty density accepted")
+	}
+}
+
+func TestOptimizePlacesRequestedSensors(t *testing.T) {
+	g := trainedDensity(t, 1500, 2)
+	p, err := Optimize(g, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sensors) != 6 {
+		t.Fatalf("placed %d sensors, want 6", len(p.Sensors))
+	}
+	for _, s := range p.Sensors {
+		if s.Min.X < 0 || s.Min.Y < 0 || s.Max.X > 480 || s.Max.Y > 800 {
+			t.Fatalf("sensor off-screen: %v", s)
+		}
+	}
+	if p.Coverage <= 0 || p.Coverage > 1 {
+		t.Fatalf("coverage %v out of range", p.Coverage)
+	}
+	if p.AreaFraction <= 0 || p.AreaFraction > 1 {
+		t.Fatalf("area fraction %v out of range", p.AreaFraction)
+	}
+}
+
+func TestHotspotPlacementBeatsAreaFraction(t *testing.T) {
+	// The paper's core placement claim: optimized small sensors capture
+	// far more touches than their area share. 8 sensors of 72x72 px
+	// cover ~11% of the screen but must capture >= 35% of touches
+	// (roughly 4x their area share).
+	g := trainedDensity(t, 2000, 3)
+	opts := defaultOpts()
+	opts.MaxSensors = 8
+	p, err := Optimize(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Coverage < 3*p.AreaFraction {
+		t.Fatalf("coverage %.3f not >> area fraction %.3f", p.Coverage, p.AreaFraction)
+	}
+	if p.Coverage < 0.35 {
+		t.Fatalf("coverage %.3f below 0.35", p.Coverage)
+	}
+}
+
+func TestCoverageCurveMonotone(t *testing.T) {
+	g := trainedDensity(t, 1500, 4)
+	curve, err := CoverageCurve(g, Options{SensorWPX: 72, SensorHPX: 72}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 8 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-9 {
+			t.Fatalf("coverage decreased at k=%d: %v", i+1, curve)
+		}
+	}
+	if curve[len(curve)-1] > 1+1e-9 {
+		t.Fatalf("coverage exceeds 1: %v", curve)
+	}
+}
+
+func TestCoverageCurveDiminishingReturns(t *testing.T) {
+	g := trainedDensity(t, 2000, 5)
+	curve, err := CoverageCurve(g, Options{SensorWPX: 72, SensorHPX: 72}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := curve[0]
+	last := curve[len(curve)-1] - curve[len(curve)-2]
+	if first <= last {
+		t.Fatalf("no diminishing returns: first gain %.3f, last gain %.3f", first, last)
+	}
+}
+
+func TestBiggerSensorsCoverMore(t *testing.T) {
+	g := trainedDensity(t, 1500, 6)
+	small, err := Optimize(g, Options{SensorWPX: 40, SensorHPX: 40, MaxSensors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Optimize(g, Options{SensorWPX: 110, SensorHPX: 110, MaxSensors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Coverage <= small.Coverage {
+		t.Fatalf("big sensors %.3f not above small %.3f", big.Coverage, small.Coverage)
+	}
+}
+
+func TestHeldOutEvaluationTracksTraining(t *testing.T) {
+	g := trainedDensity(t, 2000, 7)
+	p, err := Optimize(g, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1234)
+	var sum float64
+	var n int
+	for _, u := range touch.ReferenceUsers() {
+		s, err := touch.GenerateSession(u, screen, 1000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += EvaluateOnSession(p, s)
+		n++
+	}
+	heldOut := sum / float64(n)
+	if math.Abs(heldOut-p.Coverage) > 0.15 {
+		t.Fatalf("held-out coverage %.3f far from training %.3f", heldOut, p.Coverage)
+	}
+}
+
+func TestCoversAndSensorAt(t *testing.T) {
+	p := Placement{Sensors: []geom.Rect{geom.RectWH(0, 0, 10, 10), geom.RectWH(100, 100, 10, 10)}}
+	if !p.Covers(geom.Point{X: 5, Y: 5}) {
+		t.Error("point in first sensor not covered")
+	}
+	if p.SensorAt(geom.Point{X: 105, Y: 105}) != 1 {
+		t.Error("wrong sensor index")
+	}
+	if p.SensorAt(geom.Point{X: 50, Y: 50}) != -1 {
+		t.Error("uncovered point got a sensor")
+	}
+}
+
+func TestUnionAreaOverlapNotDoubleCounted(t *testing.T) {
+	a := geom.RectWH(0, 0, 10, 10)
+	b := geom.RectWH(5, 0, 10, 10)
+	if got := unionArea([]geom.Rect{a, b}); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("union area = %v, want 150", got)
+	}
+	if got := unionArea(nil); got != 0 {
+		t.Fatalf("empty union area = %v", got)
+	}
+}
+
+func TestMinGainStopsEarly(t *testing.T) {
+	g := trainedDensity(t, 1500, 8)
+	opts := defaultOpts()
+	opts.MaxSensors = 50
+	opts.MinGain = 0.05
+	p, err := Optimize(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sensors) >= 50 {
+		t.Fatalf("MinGain did not stop greedy early (%d sensors)", len(p.Sensors))
+	}
+}

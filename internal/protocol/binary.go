@@ -1,0 +1,351 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"trust/internal/frame"
+	"trust/internal/geom"
+	"trust/internal/pki"
+)
+
+// Binary wire codec: the paper rides its fields in cookie extensions,
+// where every byte counts; this length-prefixed binary encoding is the
+// production alternative to the JSON transport (see the Fig 10 wire
+// overhead table for the size comparison). Authenticators still cover
+// the canonical JSON bytes — the codec is pure transport, so a message
+// may arrive over either encoding and verify identically.
+
+const binVersion = 1
+
+// Message tags.
+const (
+	tagRegistrationPage byte = iota + 1
+	tagRegistrationSubmit
+	tagLoginPage
+	tagLoginSubmit
+	tagContentPage
+	tagPageRequest
+)
+
+// ErrBinaryDecode reports malformed binary input.
+var ErrBinaryDecode = errors.New("protocol: malformed binary message")
+
+type binWriter struct{ buf bytes.Buffer }
+
+func (w *binWriter) u8(v byte) { w.buf.WriteByte(v) }
+func (w *binWriter) u32(v int) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(v))
+	w.buf.Write(b[:])
+}
+func (w *binWriter) u64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *binWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *binWriter) bytes(b []byte) {
+	w.u32(len(b))
+	w.buf.Write(b)
+}
+func (w *binWriter) str(s string) { w.bytes([]byte(s)) }
+func (w *binWriter) hash(h frame.Hash) {
+	w.buf.Write(h[:])
+}
+
+type binReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail() {
+	if r.err == nil {
+		r.err = ErrBinaryDecode
+	}
+}
+func (r *binReader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+func (r *binReader) u32() int {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return int(v)
+}
+func (r *binReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+func (r *binReader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *binReader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	r.off += n
+	return out
+}
+func (r *binReader) str() string { return string(r.bytes()) }
+func (r *binReader) hash() (h frame.Hash) {
+	if r.err != nil || r.off+len(h) > len(r.b) {
+		r.fail()
+		return
+	}
+	copy(h[:], r.b[r.off:])
+	r.off += len(h)
+	return
+}
+
+// page encoding.
+
+func writePage(w *binWriter, p *frame.Page) {
+	if p == nil {
+		w.u8(0)
+		return
+	}
+	w.u8(1)
+	w.str(p.URL)
+	w.str(p.Title)
+	w.str(p.Body)
+	w.f64(p.HeightPX)
+	w.u32(len(p.Elements))
+	for _, e := range p.Elements {
+		w.str(e.ID)
+		w.u8(byte(e.Kind))
+		w.str(e.Label)
+		w.str(e.Action)
+		w.f64(e.Bounds.Min.X)
+		w.f64(e.Bounds.Min.Y)
+		w.f64(e.Bounds.Max.X)
+		w.f64(e.Bounds.Max.Y)
+	}
+}
+
+func readPage(r *binReader) *frame.Page {
+	if r.u8() == 0 {
+		return nil
+	}
+	p := &frame.Page{
+		URL:      r.str(),
+		Title:    r.str(),
+		Body:     r.str(),
+		HeightPX: r.f64(),
+	}
+	n := r.u32()
+	if r.err != nil || n < 0 || n > 10000 {
+		r.fail()
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		e := frame.Element{
+			ID:     r.str(),
+			Kind:   frame.ElementKind(r.u8()),
+			Label:  r.str(),
+			Action: r.str(),
+		}
+		e.Bounds = geom.Rect{
+			Min: geom.Point{X: r.f64(), Y: r.f64()},
+			Max: geom.Point{X: r.f64(), Y: r.f64()},
+		}
+		p.Elements = append(p.Elements, e)
+	}
+	return p
+}
+
+// certificate encoding.
+
+func writeCert(w *binWriter, c *pki.Certificate) {
+	if c == nil {
+		w.u8(0)
+		return
+	}
+	w.u8(1)
+	w.str(c.Subject)
+	w.str(string(c.Role))
+	w.bytes(c.PublicKey)
+	w.bytes(c.KemKey)
+	w.str(c.Issuer)
+	w.u64(c.Serial)
+	w.bytes(c.Signature)
+}
+
+func readCert(r *binReader) *pki.Certificate {
+	if r.u8() == 0 {
+		return nil
+	}
+	return &pki.Certificate{
+		Subject:   r.str(),
+		Role:      pki.Role(r.str()),
+		PublicKey: r.bytes(),
+		KemKey:    r.bytes(),
+		Issuer:    r.str(),
+		Serial:    r.u64(),
+		Signature: r.bytes(),
+	}
+}
+
+// EncodeBinary serializes any protocol message to the compact wire
+// form.
+func EncodeBinary(msg any) ([]byte, error) {
+	w := &binWriter{}
+	w.u8(binVersion)
+	switch m := msg.(type) {
+	case *RegistrationPage:
+		w.u8(tagRegistrationPage)
+		w.str(m.Domain)
+		w.str(string(m.Nonce))
+		writePage(w, m.Page)
+		writeCert(w, m.ServerCert)
+		w.bytes(m.Signature)
+	case *RegistrationSubmit:
+		w.u8(tagRegistrationSubmit)
+		w.str(m.Domain)
+		w.str(m.Account)
+		w.str(string(m.Nonce))
+		w.bytes(m.UserPub)
+		w.hash(m.FrameHash)
+		writeCert(w, m.DeviceCert)
+		w.bytes(m.Signature)
+	case *LoginPage:
+		w.u8(tagLoginPage)
+		w.str(m.Domain)
+		w.str(string(m.Nonce))
+		writePage(w, m.Page)
+		w.bytes(m.Signature)
+	case *LoginSubmit:
+		w.u8(tagLoginSubmit)
+		w.str(m.Domain)
+		w.str(m.Account)
+		w.str(string(m.Nonce))
+		w.bytes(m.SessionKeyCT)
+		w.hash(m.FrameHash)
+		w.u32(m.RiskVerified)
+		w.u32(m.RiskWindow)
+		w.bytes(m.Signature)
+		w.bytes(m.MAC)
+	case *ContentPage:
+		w.u8(tagContentPage)
+		w.str(m.Domain)
+		w.str(m.SessionID)
+		w.str(string(m.Nonce))
+		w.str(m.Account)
+		writePage(w, m.Page)
+		w.bytes(m.MAC)
+	case *PageRequest:
+		w.u8(tagPageRequest)
+		w.str(m.Domain)
+		w.str(m.Account)
+		w.str(m.SessionID)
+		w.str(string(m.Nonce))
+		w.str(m.Action)
+		w.hash(m.FrameHash)
+		w.u32(m.RiskVerified)
+		w.u32(m.RiskWindow)
+		w.bytes(m.MAC)
+	default:
+		return nil, fmt.Errorf("protocol: cannot binary-encode %T", msg)
+	}
+	return w.buf.Bytes(), nil
+}
+
+// DecodeBinary parses a binary message, returning one of the protocol
+// message pointer types.
+func DecodeBinary(data []byte) (any, error) {
+	r := &binReader{b: data}
+	if v := r.u8(); v != binVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBinaryDecode, v)
+	}
+	tag := r.u8()
+	var out any
+	switch tag {
+	case tagRegistrationPage:
+		m := &RegistrationPage{}
+		m.Domain = r.str()
+		m.Nonce = Nonce(r.str())
+		m.Page = readPage(r)
+		m.ServerCert = readCert(r)
+		m.Signature = r.bytes()
+		out = m
+	case tagRegistrationSubmit:
+		m := &RegistrationSubmit{}
+		m.Domain = r.str()
+		m.Account = r.str()
+		m.Nonce = Nonce(r.str())
+		m.UserPub = r.bytes()
+		m.FrameHash = r.hash()
+		m.DeviceCert = readCert(r)
+		m.Signature = r.bytes()
+		out = m
+	case tagLoginPage:
+		m := &LoginPage{}
+		m.Domain = r.str()
+		m.Nonce = Nonce(r.str())
+		m.Page = readPage(r)
+		m.Signature = r.bytes()
+		out = m
+	case tagLoginSubmit:
+		m := &LoginSubmit{}
+		m.Domain = r.str()
+		m.Account = r.str()
+		m.Nonce = Nonce(r.str())
+		m.SessionKeyCT = r.bytes()
+		m.FrameHash = r.hash()
+		m.RiskVerified = r.u32()
+		m.RiskWindow = r.u32()
+		m.Signature = r.bytes()
+		m.MAC = r.bytes()
+		out = m
+	case tagContentPage:
+		m := &ContentPage{}
+		m.Domain = r.str()
+		m.SessionID = r.str()
+		m.Nonce = Nonce(r.str())
+		m.Account = r.str()
+		m.Page = readPage(r)
+		m.MAC = r.bytes()
+		out = m
+	case tagPageRequest:
+		m := &PageRequest{}
+		m.Domain = r.str()
+		m.Account = r.str()
+		m.SessionID = r.str()
+		m.Nonce = Nonce(r.str())
+		m.Action = r.str()
+		m.FrameHash = r.hash()
+		m.RiskVerified = r.u32()
+		m.RiskWindow = r.u32()
+		m.MAC = r.bytes()
+		out = m
+	default:
+		return nil, fmt.Errorf("%w: tag %d", ErrBinaryDecode, tag)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBinaryDecode, len(data)-r.off)
+	}
+	return out, nil
+}

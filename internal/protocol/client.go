@@ -1,0 +1,215 @@
+package protocol
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"time"
+
+	"trust/internal/flock"
+	"trust/internal/frame"
+	"trust/internal/pki"
+)
+
+// Client is the FLock-side protocol engine: it runs inside the module's
+// trust boundary, so certificate checks, signing, session-key handling,
+// and frame hashing all happen in trusted hardware even when the host
+// SoC is compromised (the paper's assumption (i) in Sec IV-B).
+type Client struct {
+	m *flock.Module
+}
+
+// NewClient wires a protocol client to a module.
+func NewClient(m *flock.Module) *Client { return &Client{m: m} }
+
+// Module returns the underlying FLock module.
+func (c *Client) Module() *flock.Module { return c.m }
+
+// Session is the client's view of an authenticated session.
+type Session struct {
+	Domain    string
+	Account   string
+	ID        string
+	Key       []byte
+	LastNonce Nonce
+}
+
+// Errors surfaced to callers (the device shows these to the user).
+var (
+	ErrServerCert   = errors.New("protocol: server certificate invalid")
+	ErrServerAuth   = errors.New("protocol: server authenticator invalid")
+	ErrNoFreshTouch = errors.New("protocol: no fresh verified touch")
+)
+
+// HandleRegistrationPage is Fig 9 step 2: verify the server certificate
+// and message signature, generate the per-service key pair, store the
+// record, and build the signed submission. The registration-button
+// touch must already have verified (touch authorization), and the
+// displayed frame's hash is taken from the repeater.
+func (c *Client) HandleRegistrationPage(now time.Duration, msg *RegistrationPage, account string) (*RegistrationSubmit, error) {
+	if msg == nil || msg.Page == nil {
+		return nil, errors.New("protocol: empty registration page")
+	}
+	if err := msg.ServerCert.Verify(c.m.CAPublicKey(), pki.RoleServer); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrServerCert, err)
+	}
+	if msg.ServerCert.Subject != msg.Domain {
+		return nil, fmt.Errorf("%w: certificate subject %q does not match domain %q", ErrServerCert, msg.ServerCert.Subject, msg.Domain)
+	}
+	if !ed25519.Verify(msg.ServerCert.Key(), msg.SigningBytes(), msg.Signature) {
+		return nil, ErrServerAuth
+	}
+	if !c.m.TouchAuthorized(now) {
+		return nil, ErrNoFreshTouch
+	}
+	fh, ok := c.m.Repeater().LastHash()
+	if !ok {
+		return nil, errors.New("protocol: no displayed frame to attest")
+	}
+	rec, err := c.m.NewServiceKeys(msg.Domain, account, msg.ServerCert.Key())
+	if err != nil {
+		return nil, err
+	}
+	submit := &RegistrationSubmit{
+		Domain:     msg.Domain,
+		Account:    account,
+		Nonce:      msg.Nonce,
+		UserPub:    append([]byte(nil), rec.Keys.Public...),
+		FrameHash:  fh,
+		DeviceCert: c.m.DeviceCert(),
+	}
+	sig, err := c.m.SignAsDevice(now, submit.SigningBytes())
+	if err != nil {
+		return nil, err
+	}
+	submit.Signature = sig
+	return submit, nil
+}
+
+// kemKeyFor returns the server's KEM key for a bound domain, verifying
+// the presented certificate matches the stored binding (key pinning
+// from registration).
+func (c *Client) kemKeyFor(domain string, cert *pki.Certificate) ([]byte, error) {
+	rec, err := c.m.Record(domain)
+	if err != nil {
+		return nil, err
+	}
+	if err := cert.Verify(c.m.CAPublicKey(), pki.RoleServer); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrServerCert, err)
+	}
+	if string(cert.Key()) != string(rec.ServerPublicKey) {
+		return nil, fmt.Errorf("%w: server key changed since registration", ErrServerCert)
+	}
+	if len(cert.KemKey) == 0 {
+		return nil, fmt.Errorf("%w: server certificate lacks a KEM key", ErrServerCert)
+	}
+	return cert.KemKey, nil
+}
+
+// HandleLoginPage is Fig 10 step 2: verify the login page came from the
+// bound server, then — given a verified login touch — mint a session
+// key, encrypt it to the server, and build the MAC'd login submission
+// carrying the frame hash and the current risk factor.
+func (c *Client) HandleLoginPage(now time.Duration, msg *LoginPage, serverCert *pki.Certificate, account string, riskWindow int) (*LoginSubmit, *Session, error) {
+	if msg == nil || msg.Page == nil {
+		return nil, nil, errors.New("protocol: empty login page")
+	}
+	if err := c.m.VerifyServerSignature(msg.Domain, msg.SigningBytes(), msg.Signature); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrServerAuth, err)
+	}
+	kem, err := c.kemKeyFor(msg.Domain, serverCert)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !c.m.TouchAuthorized(now) {
+		return nil, nil, ErrNoFreshTouch
+	}
+	fh, ok := c.m.Repeater().LastHash()
+	if !ok {
+		return nil, nil, errors.New("protocol: no displayed frame to attest")
+	}
+	key, err := c.m.NewSessionKey()
+	if err != nil {
+		return nil, nil, err
+	}
+	ct, err := pki.EncryptTo(kem, key, c.m.Entropy())
+	if err != nil {
+		return nil, nil, err
+	}
+	verified, considered := c.m.RiskFactor(riskWindow)
+	submit := &LoginSubmit{
+		Domain:       msg.Domain,
+		Account:      account,
+		Nonce:        msg.Nonce,
+		SessionKeyCT: ct,
+		FrameHash:    fh,
+		RiskVerified: verified,
+		RiskWindow:   considered,
+	}
+	sig, err := c.m.SignAsService(now, msg.Domain, submit.SigningBytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	submit.Signature = sig
+	submit.MAC = pki.MAC(key, submit.MACBytes())
+	sess := &Session{Domain: msg.Domain, Account: account, Key: key, LastNonce: msg.Nonce}
+	return submit, sess, nil
+}
+
+// AcceptContentPage verifies a server content page against the session
+// (MAC, account, domain) and rolls the session nonce forward.
+func (c *Client) AcceptContentPage(sess *Session, msg *ContentPage) error {
+	if msg == nil || msg.Page == nil {
+		return errors.New("protocol: empty content page")
+	}
+	if msg.Domain != sess.Domain || msg.Account != sess.Account {
+		return fmt.Errorf("protocol: content page for %s/%s on session %s/%s", msg.Domain, msg.Account, sess.Domain, sess.Account)
+	}
+	if !pki.CheckMAC(sess.Key, msg.MACBytes(), msg.MAC) {
+		return ErrServerAuth
+	}
+	if sess.ID == "" {
+		sess.ID = msg.SessionID
+	} else if sess.ID != msg.SessionID {
+		return fmt.Errorf("protocol: session id changed from %q to %q", sess.ID, msg.SessionID)
+	}
+	sess.LastNonce = msg.Nonce
+	return nil
+}
+
+// BuildPageRequest is Fig 10 step 4: each subsequent interaction. The
+// triggering touch must have verified recently; the request carries the
+// current frame hash and risk factor, MAC'd under the session key.
+func (c *Client) BuildPageRequest(now time.Duration, sess *Session, action string, riskWindow int) (*PageRequest, error) {
+	if sess == nil || sess.ID == "" {
+		return nil, errors.New("protocol: no established session")
+	}
+	if !c.m.TouchAuthorized(now) {
+		return nil, ErrNoFreshTouch
+	}
+	fh, ok := c.m.Repeater().LastHash()
+	if !ok {
+		return nil, errors.New("protocol: no displayed frame to attest")
+	}
+	verified, considered := c.m.RiskFactor(riskWindow)
+	req := &PageRequest{
+		Domain:       sess.Domain,
+		Account:      sess.Account,
+		SessionID:    sess.ID,
+		Nonce:        sess.LastNonce,
+		Action:       action,
+		FrameHash:    fh,
+		RiskVerified: verified,
+		RiskWindow:   considered,
+	}
+	req.MAC = pki.MAC(sess.Key, req.MACBytes())
+	return req, nil
+}
+
+// DisplayPage renders a page at the default view through the module's
+// display path and returns the frame hash — the device calls this
+// whenever a server page reaches the screen.
+func (c *Client) DisplayPage(p *frame.Page, v frame.View) frame.Hash {
+	h, _ := c.m.DisplayFrame(frame.Render(p, v))
+	return h
+}

@@ -1,0 +1,170 @@
+// Package protocol defines the wire messages of the TRUST remote
+// identity protocols — registration (the paper's Fig 9) and continuous
+// authentication (Fig 10) — together with their canonical signing
+// bytes, and the FLock-side client that produces and verifies them.
+//
+// Terminology note: the paper writes "MAC: Encrypt ServerKeypriv(hash
+// of key-value pairs)" for asymmetric authenticators; those are digital
+// signatures here (ed25519). MACs under the symmetric session key use
+// HMAC-SHA256. Session keys ride to the server under the certificate's
+// X25519 key (see pki.EncryptTo).
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"trust/internal/frame"
+	"trust/internal/pki"
+)
+
+// Nonce is a server-issued freshness token (hex string on the wire).
+type Nonce string
+
+// RegistrationPage is Fig 9 step 1: the server's response to a
+// registration request.
+type RegistrationPage struct {
+	Domain     string
+	Nonce      Nonce
+	Page       *frame.Page
+	ServerCert *pki.Certificate // CA-signed
+	Signature  []byte           // server signature over SigningBytes
+}
+
+// RegistrationSubmit is Fig 9 step 3/4: the FLock module's signed
+// binding submission, forwarded by the (untrusted) device.
+type RegistrationSubmit struct {
+	Domain     string
+	Account    string
+	Nonce      Nonce
+	UserPub    []byte // pkA — the fresh per-service public key
+	FrameHash  frame.Hash
+	DeviceCert *pki.Certificate // FLock's CA-signed certificate
+	Signature  []byte           // device-key signature over SigningBytes
+}
+
+// RegistrationResult is the server's verdict.
+type RegistrationResult struct {
+	OK     bool
+	Reason string
+}
+
+// LoginPage is Fig 10 step 1: the server's login page plus fresh nonce.
+type LoginPage struct {
+	Domain    string
+	Nonce     Nonce
+	Page      *frame.Page
+	Signature []byte // server signature
+}
+
+// LoginSubmit is Fig 10 step 2/3: account, nonce echo, session key
+// encrypted to the server, frame hash, the risk factor, and an HMAC
+// under the new session key.
+type LoginSubmit struct {
+	Domain       string
+	Account      string
+	Nonce        Nonce
+	SessionKeyCT []byte // pki.EncryptTo(server KEM key, session key)
+	FrameHash    frame.Hash
+	RiskVerified int // x of the paper's "x out of n touches"
+	RiskWindow   int // n
+	// Signature binds the submission to the account's registered
+	// per-service key (the paper's user-key authentication of the
+	// session key), preventing anyone else from opening a session as
+	// this account.
+	Signature []byte
+	MAC       []byte // HMAC-SHA256 under the session key
+}
+
+// ContentPage is the server's post-login page: session id, next nonce,
+// page content, MAC under the session key.
+type ContentPage struct {
+	Domain    string
+	SessionID string
+	Nonce     Nonce
+	Account   string
+	Page      *frame.Page
+	MAC       []byte
+}
+
+// PageRequest is Fig 10 step 4: each subsequent user-to-server
+// interaction, MAC'd under the session key.
+type PageRequest struct {
+	Domain       string
+	Account      string
+	SessionID    string
+	Nonce        Nonce // echo of the last nonce the server issued
+	Action       string
+	FrameHash    frame.Hash
+	RiskVerified int
+	RiskWindow   int
+	MAC          []byte
+}
+
+// canonical returns deterministic signing bytes: the JSON encoding of
+// the value with its authenticator cleared. Callers pass a copy whose
+// Signature/MAC field is nil.
+func canonical(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All message types marshal cleanly; an error is a programming
+		// bug, not an input condition.
+		panic(fmt.Sprintf("protocol: canonical encoding: %v", err))
+	}
+	return b
+}
+
+// SigningBytes implementations: each clears the authenticator and
+// canonicalizes the rest, so any field tampering invalidates it.
+
+// SigningBytes of a RegistrationPage covers everything but Signature.
+func (m *RegistrationPage) SigningBytes() []byte {
+	cp := *m
+	cp.Signature = nil
+	return canonical(&cp)
+}
+
+// SigningBytes of a RegistrationSubmit covers everything but Signature.
+func (m *RegistrationSubmit) SigningBytes() []byte {
+	cp := *m
+	cp.Signature = nil
+	return canonical(&cp)
+}
+
+// SigningBytes of a LoginPage covers everything but Signature.
+func (m *LoginPage) SigningBytes() []byte {
+	cp := *m
+	cp.Signature = nil
+	return canonical(&cp)
+}
+
+// SigningBytes of a LoginSubmit covers everything but Signature and
+// MAC (the signature is applied first, the MAC over the signed whole).
+func (m *LoginSubmit) SigningBytes() []byte {
+	cp := *m
+	cp.Signature = nil
+	cp.MAC = nil
+	return canonical(&cp)
+}
+
+// MACBytes of a LoginSubmit covers everything (including Signature)
+// but MAC.
+func (m *LoginSubmit) MACBytes() []byte {
+	cp := *m
+	cp.MAC = nil
+	return canonical(&cp)
+}
+
+// MACBytes of a ContentPage covers everything but MAC.
+func (m *ContentPage) MACBytes() []byte {
+	cp := *m
+	cp.MAC = nil
+	return canonical(&cp)
+}
+
+// MACBytes of a PageRequest covers everything but MAC.
+func (m *PageRequest) MACBytes() []byte {
+	cp := *m
+	cp.MAC = nil
+	return canonical(&cp)
+}

@@ -1,0 +1,81 @@
+package sensor
+
+import "strings"
+
+// BitImage is a packed binary fingerprint image: one bit per cell, 1 =
+// ridge, 0 = valley/no-contact.
+type BitImage struct {
+	w, h  int
+	words []uint64
+}
+
+// NewBitImage returns an all-zero image of the given size.
+func NewBitImage(w, h int) *BitImage {
+	if w < 0 || h < 0 {
+		panic("sensor: negative BitImage size")
+	}
+	return &BitImage{w: w, h: h, words: make([]uint64, (w*h+63)/64)}
+}
+
+// W and H return the image dimensions.
+func (b *BitImage) W() int { return b.w }
+func (b *BitImage) H() int { return b.h }
+
+func (b *BitImage) index(x, y int) (word int, bit uint) {
+	if x < 0 || x >= b.w || y < 0 || y >= b.h {
+		panic("sensor: BitImage index out of range")
+	}
+	i := y*b.w + x
+	return i / 64, uint(i % 64)
+}
+
+// Set marks (x, y) as ridge.
+func (b *BitImage) Set(x, y int) {
+	w, bit := b.index(x, y)
+	b.words[w] |= 1 << bit
+}
+
+// Get reports whether (x, y) is ridge.
+func (b *BitImage) Get(x, y int) bool {
+	w, bit := b.index(x, y)
+	return b.words[w]&(1<<bit) != 0
+}
+
+// Ones counts set bits.
+func (b *BitImage) Ones() int {
+	n := 0
+	for _, w := range b.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// RidgeFraction is Ones divided by the pixel count.
+func (b *BitImage) RidgeFraction() float64 {
+	if b.w*b.h == 0 {
+		return 0
+	}
+	return float64(b.Ones()) / float64(b.w*b.h)
+}
+
+// ASCII renders the image for debugging and the benchtab figures, with
+// '#' for ridge and '.' for valley, downsampled by step.
+func (b *BitImage) ASCII(step int) string {
+	if step < 1 {
+		step = 1
+	}
+	var sb strings.Builder
+	for y := 0; y < b.h; y += step {
+		for x := 0; x < b.w; x += step {
+			if b.Get(x, y) {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

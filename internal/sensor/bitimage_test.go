@@ -1,0 +1,87 @@
+package sensor
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitImageSetGet(t *testing.T) {
+	b := NewBitImage(100, 70)
+	b.Set(0, 0)
+	b.Set(99, 69)
+	b.Set(37, 11)
+	if !b.Get(0, 0) || !b.Get(99, 69) || !b.Get(37, 11) {
+		t.Fatal("set bits not readable")
+	}
+	if b.Get(1, 0) || b.Get(98, 69) {
+		t.Fatal("unset bits read as set")
+	}
+	if b.Ones() != 3 {
+		t.Fatalf("Ones = %d, want 3", b.Ones())
+	}
+}
+
+func TestBitImageOutOfRangePanics(t *testing.T) {
+	b := NewBitImage(10, 10)
+	for _, fn := range []func(){
+		func() { b.Get(-1, 0) },
+		func() { b.Get(10, 0) },
+		func() { b.Get(0, 10) },
+		func() { b.Set(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBitImageRidgeFraction(t *testing.T) {
+	b := NewBitImage(10, 10)
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 5; y++ {
+			b.Set(x, y)
+		}
+	}
+	if f := b.RidgeFraction(); f != 0.5 {
+		t.Fatalf("RidgeFraction = %v, want 0.5", f)
+	}
+	if f := NewBitImage(0, 0).RidgeFraction(); f != 0 {
+		t.Fatalf("empty image fraction = %v", f)
+	}
+}
+
+func TestBitImageOnesMatchesSets(t *testing.T) {
+	if err := quick.Check(func(coords []uint16) bool {
+		b := NewBitImage(64, 64)
+		seen := map[[2]int]bool{}
+		for _, c := range coords {
+			x, y := int(c%64), int(c/64%64)
+			b.Set(x, y)
+			seen[[2]int{x, y}] = true
+		}
+		return b.Ones() == len(seen)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitImageASCII(t *testing.T) {
+	b := NewBitImage(4, 2)
+	b.Set(0, 0)
+	b.Set(3, 1)
+	got := b.ASCII(1)
+	want := "#...\n...#\n"
+	if got != want {
+		t.Fatalf("ASCII:\n%q\nwant\n%q", got, want)
+	}
+	lines := strings.Count(b.ASCII(2), "\n")
+	if lines != 1 {
+		t.Fatalf("downsampled ASCII has %d lines, want 1", lines)
+	}
+}

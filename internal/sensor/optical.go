@@ -1,0 +1,89 @@
+package sensor
+
+import "time"
+
+// OpticalSensor is the Fig 3 baseline: an LED + lens + camera stack.
+// The paper's point is qualitative — the lens system forces a thick,
+// costly package — so the model only carries the attributes the
+// comparison (experiment E5) reports.
+type OpticalSensor struct {
+	Name         string
+	ExposureTime time.Duration // LED illumination + integration
+	ReadoutTime  time.Duration // camera frame readout
+	ThicknessMM  float64       // lens stack height
+	Transparent  bool          // can it overlay a display?
+	RelativeCost float64       // normalized unit cost (TFT patch = 1)
+}
+
+// DefaultOptical returns a representative compact optical fingerprint
+// module of the paper's era.
+func DefaultOptical() OpticalSensor {
+	return OpticalSensor{
+		Name:         "optical-lens",
+		ExposureTime: 50 * time.Millisecond,
+		ReadoutTime:  30 * time.Millisecond,
+		ThicknessMM:  18,
+		Transparent:  false,
+		RelativeCost: 6,
+	}
+}
+
+// Response is the end-to-end image acquisition time.
+func (o OpticalSensor) Response() time.Duration {
+	return o.ExposureTime + o.ReadoutTime
+}
+
+// TechComparison is one row of the E5 technology comparison (Fig 3
+// context: optical vs CMOS capacitive vs TFT capacitive).
+type TechComparison struct {
+	Technology   string
+	Response     time.Duration
+	ThicknessMM  float64
+	Transparent  bool
+	ScalesToArea bool // can cover display-sized areas at sane cost
+	RelativeCost float64
+}
+
+// CompareTechnologies returns the E5 table: the optical baseline, a
+// CMOS capacitive chip, and the paper's transparent TFT design
+// (response computed from the FLock array model).
+func CompareTechnologies() []TechComparison {
+	opt := DefaultOptical()
+	flock, err := New(FLockConfig(), nil)
+	if err != nil {
+		panic(err) // static config; cannot fail
+	}
+	cmos := Config{
+		Name: "cmos-capacitive", CellPitchUM: 50, Cols: 256, Rows: 300, ClockHz: 2e6,
+	}.withDefaults()
+	cmosArr, err := New(cmos, nil)
+	if err != nil {
+		panic(err)
+	}
+	return []TechComparison{
+		{
+			Technology:   "optical (lens system)",
+			Response:     opt.Response(),
+			ThicknessMM:  opt.ThicknessMM,
+			Transparent:  false,
+			ScalesToArea: false,
+			RelativeCost: opt.RelativeCost,
+		},
+		{
+			Technology:   "CMOS capacitive (Si chip)",
+			Response:     cmosArr.ResponseFullScan(),
+			ThicknessMM:  1.2,
+			Transparent:  false,
+			ScalesToArea: false, // Si substrate cost grows prohibitively
+			RelativeCost: 4,
+		},
+		{
+			Technology:   "transparent TFT capacitive (this work)",
+			Response:     flock.ResponseFullScan(),
+			ThicknessMM:  0.7,
+			Transparent:  true,
+			ScalesToArea: true,
+			RelativeCost: 1,
+		},
+	}
+}

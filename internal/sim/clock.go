@@ -1,0 +1,137 @@
+// Package sim provides the deterministic simulation substrate used by
+// every other package in this repository: a virtual clock with an event
+// queue, a seeded deterministic random number generator, and an energy
+// meter. All timing results reported by the benchmark harness are
+// derived from this virtual clock, never from wall time, so runs are
+// exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock driving a discrete-event simulation. The
+// zero value is a clock at time zero with an empty event queue.
+type Clock struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64 // tie-breaker for events scheduled at the same instant
+	fired  uint64
+	halted bool
+}
+
+// NewClock returns a clock starting at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time as an offset from simulation
+// start.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Fired reports how many events have been dispatched so far.
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Advance moves the clock forward by d without running events. It is
+// used by components that model a busy-wait (e.g. a sensor scan that
+// blocks the controller). Advance panics if d is negative.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance with negative duration %v", d))
+	}
+	c.now += d
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: that is always a modelling bug.
+func (c *Clock) At(t time.Duration, fn func()) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, c.now))
+	}
+	c.seq++
+	heap.Push(&c.queue, &event{at: t, seq: c.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (c *Clock) After(d time.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After with negative duration %v", d))
+	}
+	c.At(c.now+d, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty or the clock has
+// been halted.
+func (c *Clock) Step() bool {
+	if c.halted || len(c.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&c.queue).(*event)
+	if ev.at > c.now {
+		c.now = ev.at
+	}
+	c.fired++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until the queue drains or the clock halts, and
+// returns the number of events fired.
+func (c *Clock) Run() uint64 {
+	start := c.fired
+	for c.Step() {
+	}
+	return c.fired - start
+}
+
+// RunUntil dispatches events with timestamps <= deadline, then sets the
+// clock to the deadline if it has not yet reached it.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	for !c.halted && len(c.queue) > 0 && c.queue[0].at <= deadline {
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Halt stops the simulation: Step and Run become no-ops. Pending events
+// stay queued so callers can inspect them.
+func (c *Clock) Halt() { c.halted = true }
+
+// Halted reports whether Halt has been called.
+func (c *Clock) Halted() bool { return c.halted }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("new clock has %d pending events", c.Pending())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(3 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
+	if got, want := c.Now(), 5*time.Millisecond; got != want {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-time.Nanosecond)
+}
+
+func TestClockEventOrdering(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.At(30*time.Millisecond, func() { order = append(order, 3) })
+	c.At(10*time.Millisecond, func() { order = append(order, 1) })
+	c.At(20*time.Millisecond, func() { order = append(order, 2) })
+	n := c.Run()
+	if n != 3 {
+		t.Fatalf("Run fired %d events, want 3", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("events fired in order %v", order)
+		}
+	}
+	if got, want := c.Now(), 30*time.Millisecond; got != want {
+		t.Fatalf("clock ended at %v, want %v", got, want)
+	}
+}
+
+func TestClockSameInstantFIFO(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestClockSchedulingInPastPanics(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.At(time.Millisecond, func() {})
+}
+
+func TestClockNestedScheduling(t *testing.T) {
+	c := NewClock()
+	var hits int
+	c.After(time.Millisecond, func() {
+		hits++
+		c.After(time.Millisecond, func() { hits++ })
+	})
+	c.Run()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+	if got, want := c.Now(), 2*time.Millisecond; got != want {
+		t.Fatalf("clock ended at %v, want %v", got, want)
+	}
+}
+
+func TestClockRunUntil(t *testing.T) {
+	c := NewClock()
+	var hits int
+	c.At(time.Millisecond, func() { hits++ })
+	c.At(5*time.Millisecond, func() { hits++ })
+	c.RunUntil(2 * time.Millisecond)
+	if hits != 1 {
+		t.Fatalf("hits = %d after RunUntil(2ms), want 1", hits)
+	}
+	if got, want := c.Now(), 2*time.Millisecond; got != want {
+		t.Fatalf("clock at %v after RunUntil, want %v", got, want)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", c.Pending())
+	}
+}
+
+func TestClockHalt(t *testing.T) {
+	c := NewClock()
+	var hits int
+	c.At(time.Millisecond, func() {
+		hits++
+		c.Halt()
+	})
+	c.At(2*time.Millisecond, func() { hits++ })
+	c.Run()
+	if hits != 1 {
+		t.Fatalf("hits = %d after Halt, want 1", hits)
+	}
+	if !c.Halted() {
+		t.Fatal("clock should report halted")
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEnergyMeterAccumulates(t *testing.T) {
+	m := NewEnergyMeter()
+	m.AddEvent("sensor", 2e-6)
+	m.AddEvent("sensor", 3e-6)
+	m.AddEvent("crypto", 1e-6)
+	if got := m.Component("sensor"); math.Abs(float64(got)-5e-6) > 1e-12 {
+		t.Fatalf("sensor energy = %v", got)
+	}
+	if got := m.Total(); math.Abs(float64(got)-6e-6) > 1e-12 {
+		t.Fatalf("total energy = %v", got)
+	}
+}
+
+func TestEnergyMeterPower(t *testing.T) {
+	m := NewEnergyMeter()
+	m.AddPower("display", 0.5, 2*time.Second)
+	if got := m.Component("display"); math.Abs(float64(got)-1.0) > 1e-9 {
+		t.Fatalf("0.5W for 2s = %v, want 1 J", got)
+	}
+}
+
+func TestEnergyMeterBreakdownSorted(t *testing.T) {
+	m := NewEnergyMeter()
+	m.AddEvent("z", 1)
+	m.AddEvent("a", 1)
+	m.AddEvent("m", 1)
+	bd := m.Breakdown()
+	if len(bd) != 3 || bd[0].Component != "a" || bd[1].Component != "m" || bd[2].Component != "z" {
+		t.Fatalf("breakdown not sorted: %+v", bd)
+	}
+}
+
+func TestEnergyMeterReset(t *testing.T) {
+	m := NewEnergyMeter()
+	m.AddEvent("x", 1)
+	m.Reset()
+	if m.Total() != 0 {
+		t.Fatalf("total after reset = %v", m.Total())
+	}
+}
+
+func TestEnergyMeterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative energy did not panic")
+		}
+	}()
+	NewEnergyMeter().AddEvent("x", -1)
+}
+
+func TestJouleString(t *testing.T) {
+	cases := []struct {
+		j    Joule
+		want string
+	}{
+		{2.5, "J"},
+		{2.5e-3, "mJ"},
+		{2.5e-6, "uJ"},
+		{2.5e-9, "nJ"},
+	}
+	for _, c := range cases {
+		if s := c.j.String(); !strings.HasSuffix(s, c.want) {
+			t.Errorf("%v formatted as %q, want suffix %q", float64(c.j), s, c.want)
+		}
+	}
+}

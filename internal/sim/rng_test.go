@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDistinctSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/100 identical draws across different seeds", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(99)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("normal stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(123)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.05 {
+		t.Fatalf("exp mean = %v, want ~3", mean)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGPickRespectsWeights(t *testing.T) {
+	r := NewRNG(11)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 2, 7})]++
+	}
+	if counts[2] < counts[1] || counts[1] < counts[0] {
+		t.Fatalf("weighted pick counts out of order: %v", counts)
+	}
+	frac := float64(counts[2]) / 30000
+	if math.Abs(frac-0.7) > 0.03 {
+		t.Fatalf("weight-7 bucket frequency %v, want ~0.7", frac)
+	}
+}
+
+func TestRNGForkDecorrelated(t *testing.T) {
+	parent := NewRNG(1)
+	a := parent.Fork(1)
+	b := parent.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams identical in %d/100 draws", same)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(77)
+	hits := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / 100000; math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency %v", frac)
+	}
+}

@@ -1,0 +1,150 @@
+package touch
+
+import (
+	"fmt"
+	"time"
+
+	"trust/internal/geom"
+	"trust/internal/sim"
+)
+
+// GestureKind classifies one user gesture.
+type GestureKind int
+
+// Gesture kinds in the workload mixture.
+const (
+	Tap GestureKind = iota
+	Swipe
+	LongPress
+	Pinch
+)
+
+func (k GestureKind) String() string {
+	switch k {
+	case Tap:
+		return "tap"
+	case Swipe:
+		return "swipe"
+	case LongPress:
+		return "long-press"
+	case Pinch:
+		return "pinch"
+	default:
+		return fmt.Sprintf("GestureKind(%d)", int(k))
+	}
+}
+
+// Event is one touch-down the panel will sense: everything the capture
+// pipeline needs about the physical interaction.
+type Event struct {
+	At       time.Duration // virtual time of touch-down
+	Pos      geom.Point    // px
+	Kind     GestureKind
+	Pressure float64
+	RadiusMM float64
+	// SpeedMMS is the fingertip speed while the sensor window is open
+	// (taps ~0; swipes fast enough to smear).
+	SpeedMMS float64
+	// DwellTime is how long the finger stays down.
+	DwellTime time.Duration
+	// FingerOffsetMM is where on the fingertip the glass contact
+	// landed, in the finger frame relative to the fingertip centre.
+	FingerOffsetMM geom.Point
+	// FingerRotation is the finger's rotation vs enrolment pose.
+	FingerRotation float64
+}
+
+// Session is a generated interaction trace for one user.
+type Session struct {
+	User   UserModel
+	Events []Event
+}
+
+// Duration returns the time span from zero to the last event's release.
+func (s *Session) Duration() time.Duration {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	last := s.Events[len(s.Events)-1]
+	return last.At + last.DwellTime
+}
+
+// GenerateSession produces n touch events of natural interaction for
+// the user on the given screen. Swipes contribute several sampled
+// touch-downs along their path (each a chance for opportunistic
+// capture, at swipe speed); taps and long presses contribute one.
+func GenerateSession(u UserModel, screen geom.Rect, n int, rng *sim.RNG) (*Session, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("touch: session length %d", n)
+	}
+	s := &Session{User: u}
+	now := time.Duration(0)
+	weights := []float64{u.TapWeight, u.SwipeWeight, u.LongPressWeight, u.PinchWeight}
+
+	for len(s.Events) < n {
+		now += time.Duration(rng.Exp(float64(u.InterGestureMean)))
+		kind := GestureKind(rng.Pick(weights))
+		switch kind {
+		case Tap:
+			s.Events = append(s.Events, u.touchDown(now, kind, u.SamplePoint(screen, rng), 0, 110*time.Millisecond, rng))
+			now += 110 * time.Millisecond
+		case LongPress:
+			s.Events = append(s.Events, u.touchDown(now, kind, u.SamplePoint(screen, rng), 0, 600*time.Millisecond, rng))
+			now += 600 * time.Millisecond
+		case Swipe:
+			// A swipe is ONE touch-down followed by motion. The sensor
+			// scan completes within ~1 ms of touch-down, so the capture
+			// sees the onset speed, not the peak swipe speed; flicks
+			// with a fast onset still smear (paper's "move too fast").
+			start := u.SamplePoint(screen, rng)
+			onset := u.SwipeSpeedMMS * (0.05 + 0.45*rng.Float64())
+			s.Events = append(s.Events, u.touchDown(now, kind, start, onset, 350*time.Millisecond, rng))
+			now += 350 * time.Millisecond
+		case Pinch:
+			c := u.SamplePoint(screen, rng)
+			for _, d := range []float64{-40, 40} {
+				if len(s.Events) >= n {
+					break
+				}
+				pos := screen.Inset(1).Clamp(geom.Point{X: c.X + d, Y: c.Y + d/2})
+				onset := u.SwipeSpeedMMS * (0.05 + 0.3*rng.Float64())
+				s.Events = append(s.Events, u.touchDown(now, kind, pos, onset, 250*time.Millisecond, rng))
+			}
+			now += 400 * time.Millisecond
+		}
+	}
+	s.Events = s.Events[:n]
+	return s, nil
+}
+
+// touchDown builds one Event with the user's contact statistics.
+func (u UserModel) touchDown(at time.Duration, kind GestureKind, pos geom.Point, speed float64, dwell time.Duration, rng *sim.RNG) Event {
+	pressure := rng.Normal(u.PressureMean, u.PressureSigma)
+	if pressure < 0.05 {
+		pressure = 0.05
+	}
+	if pressure > 1 {
+		pressure = 1
+	}
+	radius := rng.Normal(u.ContactRadiusMeanMM, u.ContactRadiusSigmaMM)
+	if radius < 2 {
+		radius = 2
+	}
+	return Event{
+		At:        at,
+		Pos:       pos,
+		Kind:      kind,
+		Pressure:  pressure,
+		RadiusMM:  radius,
+		SpeedMMS:  speed,
+		DwellTime: dwell,
+		FingerOffsetMM: geom.Point{
+			X: rng.Normal(0, 1.4),
+			Y: rng.Normal(0, 1.8),
+		},
+		FingerRotation: rng.Normal(0, u.FingerRotSigmaRad),
+	}
+}

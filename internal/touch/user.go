@@ -1,0 +1,125 @@
+// Package touch models how people touch phones: per-user hot-spot
+// mixtures (the paper's Fig 7 shows three users' touch densities on an
+// HTC smartphone), gesture kinematics (taps, swipes, long presses,
+// pinches), and session workload generation. It supplies both the
+// placement optimizer (where do touches land?) and the continuous
+// authentication pipeline (how fast was the finger moving? how hard
+// pressing?) with realistic inputs.
+package touch
+
+import (
+	"fmt"
+	"time"
+
+	"trust/internal/geom"
+	"trust/internal/sim"
+)
+
+// Hotspot is one mode of a user's touch density: an isotropic Gaussian
+// in pixel space.
+type Hotspot struct {
+	Center  geom.Point // px
+	SigmaPX float64
+	Weight  float64
+}
+
+// UserModel captures one user's touch behaviour: where they touch
+// (hot-spot mixture), how they touch (pressure, dwell, contact size),
+// and which finger they use (the seed feeding the fingerprint
+// substrate).
+type UserModel struct {
+	Name       string
+	FingerSeed uint64 // synthesizes this user's fingerprint
+	Hotspots   []Hotspot
+
+	// Gesture mixture (weights; normalized on use).
+	TapWeight, SwipeWeight, LongPressWeight, PinchWeight float64
+
+	PressureMean, PressureSigma float64
+	ContactRadiusMeanMM         float64
+	ContactRadiusSigmaMM        float64
+	FingerRotSigmaRad           float64
+	// InterGestureMean is the mean think time between gestures.
+	InterGestureMean time.Duration
+	SwipeSpeedMMS    float64 // typical fingertip speed mid-swipe
+}
+
+// Validate reports whether the model is usable.
+func (u UserModel) Validate() error {
+	if len(u.Hotspots) == 0 {
+		return fmt.Errorf("touch: user %q has no hotspots", u.Name)
+	}
+	total := 0.0
+	for _, h := range u.Hotspots {
+		if h.Weight < 0 || h.SigmaPX <= 0 {
+			return fmt.Errorf("touch: user %q has invalid hotspot %+v", u.Name, h)
+		}
+		total += h.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("touch: user %q hotspot weights sum to zero", u.Name)
+	}
+	return nil
+}
+
+// SamplePoint draws one touch location in pixel space, clamped to the
+// screen.
+func (u UserModel) SamplePoint(screen geom.Rect, rng *sim.RNG) geom.Point {
+	weights := make([]float64, len(u.Hotspots))
+	for i, h := range u.Hotspots {
+		weights[i] = h.Weight
+	}
+	h := u.Hotspots[rng.Pick(weights)]
+	p := geom.Point{
+		X: rng.Normal(h.Center.X, h.SigmaPX),
+		Y: rng.Normal(h.Center.Y, h.SigmaPX),
+	}
+	return screen.Inset(1).Clamp(p)
+}
+
+// ReferenceUsers returns three user models with the qualitative
+// properties of the paper's Fig 7: all three share the bottom
+// keyboard/navigation hot region (the overlap the paper exploits for
+// placement) while differing in grip — a right-thumb user, a two-thumb
+// user, and an index-finger user.
+func ReferenceUsers() []UserModel {
+	base := func(name string, seed uint64, spots []Hotspot) UserModel {
+		return UserModel{
+			Name:                 name,
+			FingerSeed:           seed,
+			Hotspots:             spots,
+			TapWeight:            0.62,
+			SwipeWeight:          0.25,
+			LongPressWeight:      0.08,
+			PinchWeight:          0.05,
+			PressureMean:         0.62,
+			PressureSigma:        0.15,
+			ContactRadiusMeanMM:  4.1,
+			ContactRadiusSigmaMM: 0.5,
+			FingerRotSigmaRad:    0.22,
+			InterGestureMean:     1200 * time.Millisecond,
+			SwipeSpeedMMS:        95,
+		}
+	}
+	// Screen: 480x800 px. The shared keyboard band sits at y ~ 650-790.
+	return []UserModel{
+		base("user1-right-thumb", 101, []Hotspot{
+			{Center: geom.Point{X: 340, Y: 700}, SigmaPX: 55, Weight: 0.40}, // keyboard right
+			{Center: geom.Point{X: 240, Y: 730}, SigmaPX: 70, Weight: 0.25}, // keyboard centre
+			{Center: geom.Point{X: 390, Y: 520}, SigmaPX: 60, Weight: 0.20}, // right-edge scroll
+			{Center: geom.Point{X: 240, Y: 300}, SigmaPX: 90, Weight: 0.15}, // content taps
+		}),
+		base("user2-two-thumbs", 202, []Hotspot{
+			{Center: geom.Point{X: 120, Y: 720}, SigmaPX: 55, Weight: 0.30},  // left thumb keys
+			{Center: geom.Point{X: 360, Y: 720}, SigmaPX: 55, Weight: 0.30},  // right thumb keys
+			{Center: geom.Point{X: 240, Y: 740}, SigmaPX: 60, Weight: 0.20},  // space bar
+			{Center: geom.Point{X: 240, Y: 420}, SigmaPX: 100, Weight: 0.20}, // content
+		}),
+		base("user3-index-finger", 303, []Hotspot{
+			{Center: geom.Point{X: 240, Y: 380}, SigmaPX: 95, Weight: 0.35}, // content centre
+			{Center: geom.Point{X: 240, Y: 710}, SigmaPX: 75, Weight: 0.30}, // keyboard
+			{Center: geom.Point{X: 100, Y: 150}, SigmaPX: 60, Weight: 0.15}, // back/menu
+			{Center: geom.Point{X: 240, Y: 60}, SigmaPX: 70, Weight: 0.20},  // address bar
+		}),
+	}
+}

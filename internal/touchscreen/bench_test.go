@@ -1,0 +1,28 @@
+package touchscreen
+
+import (
+	"testing"
+
+	"trust/internal/geom"
+	"trust/internal/sim"
+)
+
+func BenchmarkSenseSingleTouch(b *testing.B) {
+	p := New(DefaultConfig(), sim.NewRNG(1))
+	contacts := []Contact{{Pos: geom.Point{X: 240, Y: 400}, Pressure: 0.8, RadiusMM: 4}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Sense(contacts)
+	}
+}
+
+func BenchmarkSenseSelfCapacitance(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Mutual = false
+	p := New(cfg, sim.NewRNG(1))
+	contacts := []Contact{{Pos: geom.Point{X: 240, Y: 400}, Pressure: 0.8, RadiusMM: 4}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Sense(contacts)
+	}
+}

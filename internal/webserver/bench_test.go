@@ -1,0 +1,61 @@
+package webserver
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkLoginRoundTrip measures one full Fig 10 login: page serve,
+// FLock-side verification and session-key minting, server-side
+// decryption and session establishment.
+func BenchmarkLoginRoundTrip(b *testing.B) {
+	r := newBenchRig(b)
+	r.register(b, "bench-acct")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lp := r.server.ServeLoginPage(r.now)
+		sub, sess, err := r.client.HandleLoginPage(r.now, lp, r.server.Certificate(), "bench-acct", 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp, err := r.server.HandleLogin(r.now, sub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.client.AcceptContentPage(sess, cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageRequestRoundTrip measures one continuous-auth request.
+func BenchmarkPageRequestRoundTrip(b *testing.B) {
+	r := newBenchRig(b)
+	r.register(b, "bench-acct")
+	sess, cp := r.login(b, "bench-acct")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, err := r.client.BuildPageRequest(r.now, sess, "view-statement", 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp, err = r.server.HandlePageRequest(r.now, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.client.AcceptContentPage(sess, cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = cp
+}
+
+// newBenchRig adapts the shared test rig for benchmarks.
+func newBenchRig(b *testing.B) *rig {
+	b.Helper()
+	r := newRig(b)
+	// Pre-verify a touch so client operations are authorized.
+	r.touchButton(b)
+	r.now += time.Millisecond
+	return r
+}

@@ -1,0 +1,237 @@
+package webserver
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"trust/internal/frame"
+	"trust/internal/pki"
+	"trust/internal/protocol"
+)
+
+// ServeRegistrationPage is Fig 9 step 1: the registration page with a
+// fresh nonce, the server's certificate, and a signature over the
+// whole.
+func (s *Server) ServeRegistrationPage(now time.Duration) *protocol.RegistrationPage {
+	msg := &protocol.RegistrationPage{
+		Domain:     s.domain,
+		Nonce:      s.newNonce(),
+		Page:       s.pages[s.regURL],
+		ServerCert: s.cert.Clone(),
+	}
+	msg.Signature = s.sign(msg.SigningBytes())
+	return msg
+}
+
+// HandleRegistration is Fig 9 step 5: verify the device certificate
+// against the CA, the submission signature against the device key, and
+// the nonce; then store the account binding and log the frame hash.
+func (s *Server) HandleRegistration(now time.Duration, sub *protocol.RegistrationSubmit, recoveryPassword string) protocol.RegistrationResult {
+	fail := func(reason string) protocol.RegistrationResult {
+		s.RejectedRequests++
+		return protocol.RegistrationResult{OK: false, Reason: reason}
+	}
+	if sub == nil {
+		return fail("empty submission")
+	}
+	if sub.Domain != s.domain {
+		return fail("domain mismatch")
+	}
+	if err := sub.DeviceCert.Verify(s.caPub, pki.RoleFLock); err != nil {
+		return fail("device certificate: " + err.Error())
+	}
+	if !ed25519.Verify(sub.DeviceCert.Key(), sub.SigningBytes(), sub.Signature) {
+		return fail("submission signature invalid")
+	}
+	if !s.consumeNonce(sub.Nonce) {
+		return fail("nonce unknown or replayed")
+	}
+	if len(sub.UserPub) != ed25519.PublicKeySize {
+		return fail("malformed user key")
+	}
+	if existing, ok := s.accounts[sub.Account]; ok && string(existing.PublicKey) != "" {
+		return fail(ErrTaken.Error())
+	}
+	s.accounts[sub.Account] = &Account{
+		ID:               sub.Account,
+		PublicKey:        append(ed25519.PublicKey(nil), sub.UserPub...),
+		DeviceSubject:    sub.DeviceCert.Subject,
+		RecoveryPassword: recoveryPassword,
+		RegisteredAt:     now,
+	}
+	s.audit.Append(frame.AuditEntry{
+		Account: sub.Account,
+		PageURL: s.regURL,
+		Hash:    sub.FrameHash,
+		At:      now,
+	})
+	s.AcceptedRequests++
+	return protocol.RegistrationResult{OK: true}
+}
+
+// ServeLoginPage is Fig 10 step 1: the login page under a fresh nonce.
+func (s *Server) ServeLoginPage(now time.Duration) *protocol.LoginPage {
+	msg := &protocol.LoginPage{
+		Domain: s.domain,
+		Nonce:  s.newNonce(),
+		Page:   s.pages[s.loginURL],
+	}
+	msg.Signature = s.sign(msg.SigningBytes())
+	return msg
+}
+
+// HandleLogin is Fig 10 step 3: recover the session key with the
+// server's private KEM key, verify the account signature and the MAC,
+// enforce the risk policy, then establish a session and return the
+// first content page.
+func (s *Server) HandleLogin(now time.Duration, sub *protocol.LoginSubmit) (*protocol.ContentPage, error) {
+	if sub == nil || sub.Domain != s.domain {
+		s.RejectedRequests++
+		return nil, fmt.Errorf("webserver: malformed login")
+	}
+	if s.failedLogins[sub.Account] >= s.MaxLoginFailures {
+		s.RejectedRequests++
+		return nil, ErrRateLimited
+	}
+	acct, ok := s.accounts[sub.Account]
+	if !ok {
+		s.failedLogins[sub.Account]++
+		s.RejectedRequests++
+		return nil, ErrUnknownAccount
+	}
+	if !ed25519.Verify(acct.PublicKey, sub.SigningBytes(), sub.Signature) {
+		s.failedLogins[sub.Account]++
+		s.RejectedRequests++
+		return nil, ErrBadSignature
+	}
+	if !s.consumeNonce(sub.Nonce) {
+		s.RejectedRequests++
+		return nil, ErrBadNonce
+	}
+	key, err := pki.DecryptWith(s.kem.Private, sub.SessionKeyCT)
+	if err != nil || len(key) != pki.SessionKeySize {
+		s.RejectedRequests++
+		return nil, fmt.Errorf("webserver: session key recovery failed")
+	}
+	if !pki.CheckMAC(key, sub.MACBytes(), sub.MAC) {
+		s.RejectedRequests++
+		return nil, ErrBadMAC
+	}
+	if !s.policy.ok(sub.RiskVerified, sub.RiskWindow) {
+		s.RejectedRequests++
+		return nil, fmt.Errorf("%w: %d of %d verified", ErrRiskPolicy, sub.RiskVerified, sub.RiskWindow)
+	}
+
+	idBytes := make([]byte, 12)
+	s.entropy.Read(idBytes)
+	sess := &session{
+		id:      hex.EncodeToString(idBytes),
+		account: sub.Account,
+		key:     key,
+	}
+	s.sessions[sess.id] = sess
+	delete(s.failedLogins, sub.Account)
+	s.audit.Append(frame.AuditEntry{Account: sub.Account, PageURL: s.loginURL, Hash: sub.FrameHash, At: now})
+	s.AcceptedRequests++
+	return s.contentPage(sess, s.PageForAction("login")), nil
+}
+
+// HandlePageRequest is Fig 10 step 4: verify session MAC, nonce echo,
+// and the risk policy for every subsequent interaction; log the frame
+// hash; serve the next page under a fresh nonce.
+func (s *Server) HandlePageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
+	if req == nil || req.Domain != s.domain {
+		s.RejectedRequests++
+		return nil, fmt.Errorf("webserver: malformed request")
+	}
+	sess, ok := s.sessions[req.SessionID]
+	if !ok || sess.revoked || sess.account != req.Account {
+		s.RejectedRequests++
+		return nil, ErrUnknownSession
+	}
+	if !pki.CheckMAC(sess.key, req.MACBytes(), req.MAC) {
+		s.RejectedRequests++
+		return nil, ErrBadMAC
+	}
+	if req.Nonce != sess.lastNonce {
+		s.RejectedRequests++
+		return nil, ErrBadNonce
+	}
+	if !s.policy.ok(req.RiskVerified, req.RiskWindow) {
+		sess.revoked = true // continuous auth failed: hard stop
+		s.RejectedRequests++
+		return nil, fmt.Errorf("%w: %d of %d verified", ErrRiskPolicy, req.RiskVerified, req.RiskWindow)
+	}
+	sess.requests++
+	// The request's frame hash attests the page the user was viewing
+	// when touching — the page this session was last served.
+	s.audit.Append(frame.AuditEntry{Account: req.Account, PageURL: sess.lastPage, Hash: req.FrameHash, At: now})
+	s.AcceptedRequests++
+	return s.contentPage(sess, s.PageForAction(req.Action)), nil
+}
+
+// contentPage builds the MAC'd response and rotates the session nonce.
+func (s *Server) contentPage(sess *session, page *frame.Page) *protocol.ContentPage {
+	nonce := s.newNonce()
+	sess.lastNonce = nonce
+	sess.lastPage = page.URL
+	msg := &protocol.ContentPage{
+		Domain:    s.domain,
+		SessionID: sess.id,
+		Nonce:     nonce,
+		Account:   sess.account,
+		Page:      page,
+	}
+	msg.MAC = pki.MAC(sess.key, msg.MACBytes())
+	return msg
+}
+
+// SessionAlive reports whether a session exists and is not revoked.
+func (s *Server) SessionAlive(id string) bool {
+	sess, ok := s.sessions[id]
+	return ok && !sess.revoked
+}
+
+// HumanOriginated is the paper's CAPTCHA replacement: "the use of real
+// finger touches prove that the user is human". A request whose
+// MAC-protected risk report carries at least one verified fingerprint
+// in its window was provably produced by physical touches on enrolled
+// skin — no distorted-text challenge needed. Callers invoke it on
+// requests that sites would otherwise CAPTCHA-gate (sign-ups, posts).
+func (s *Server) HumanOriginated(req *protocol.PageRequest) bool {
+	if req == nil {
+		return false
+	}
+	sess, ok := s.sessions[req.SessionID]
+	if !ok || sess.revoked || sess.account != req.Account {
+		return false
+	}
+	if !pki.CheckMAC(sess.key, req.MACBytes(), req.MAC) {
+		return false
+	}
+	return req.RiskWindow > 0 && req.RiskVerified >= 1
+}
+
+// ResetIdentity implements the paper's identity-reset flow: a user who
+// lost her device proves ownership with the recovery password; the
+// server removes the public-key binding (and kills live sessions) so a
+// new device can re-register the account.
+func (s *Server) ResetIdentity(account, recoveryPassword string) error {
+	acct, ok := s.accounts[account]
+	if !ok {
+		return ErrUnknownAccount
+	}
+	if acct.RecoveryPassword == "" || acct.RecoveryPassword != recoveryPassword {
+		return fmt.Errorf("webserver: recovery password mismatch")
+	}
+	delete(s.accounts, account)
+	delete(s.failedLogins, account)
+	for _, sess := range s.sessions {
+		if sess.account == account {
+			sess.revoked = true
+		}
+	}
+	return nil
+}

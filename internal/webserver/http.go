@@ -1,0 +1,179 @@
+package webserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"trust/internal/pki"
+	"trust/internal/protocol"
+)
+
+// binaryMIME selects the compact binary codec on the HTTP transport.
+const binaryMIME = "application/octet-stream"
+
+// assignMessage copies a decoded binary message into the handler's
+// typed destination; it reports false on a type mismatch.
+func assignMessage(dst any, msg any) bool {
+	switch d := dst.(type) {
+	case *protocol.RegistrationSubmit:
+		if m, ok := msg.(*protocol.RegistrationSubmit); ok {
+			*d = *m
+			return true
+		}
+	case *protocol.LoginSubmit:
+		if m, ok := msg.(*protocol.LoginSubmit); ok {
+			*d = *m
+			return true
+		}
+	case *protocol.PageRequest:
+		if m, ok := msg.(*protocol.PageRequest); ok {
+			*d = *m
+			return true
+		}
+	}
+	return false
+}
+
+// Handler exposes the server over HTTP for the networked examples and
+// the trustserver binary. Virtual time rides the "now" query parameter
+// (nanoseconds) so simulated clients stay deterministic; omitted, it
+// defaults to zero. A mutex serializes handler state, which net/http
+// calls concurrently.
+func (s *Server) Handler() http.Handler {
+	var mu sync.Mutex
+	mux := http.NewServeMux()
+
+	now := func(r *http.Request) time.Duration {
+		ns, _ := strconv.ParseInt(r.URL.Query().Get("now"), 10, 64)
+		return time.Duration(ns)
+	}
+	// Content negotiation: JSON by default; the compact binary codec
+	// when the client sends/accepts application/octet-stream (the
+	// cookie-extension deployment's encoding).
+	writeJSON := func(w http.ResponseWriter, r *http.Request, v any) {
+		if r.Header.Get("Accept") == binaryMIME {
+			data, err := protocol.EncodeBinary(v)
+			if err == nil {
+				w.Header().Set("Content-Type", binaryMIME)
+				w.Write(data)
+				return
+			}
+			// Not binary-encodable (e.g. RegistrationResult): fall
+			// through to JSON.
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	readJSON := func(w http.ResponseWriter, r *http.Request, v any) bool {
+		if r.Header.Get("Content-Type") == binaryMIME {
+			data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+				return false
+			}
+			msg, err := protocol.DecodeBinary(data)
+			if err != nil {
+				http.Error(w, "bad binary body: "+err.Error(), http.StatusBadRequest)
+				return false
+			}
+			if !assignMessage(v, msg) {
+				http.Error(w, "binary body has wrong message type", http.StatusBadRequest)
+				return false
+			}
+			return true
+		}
+		if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return false
+		}
+		return true
+	}
+
+	mux.HandleFunc("GET /trust/cert", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		writeJSON(w, r, s.Certificate())
+	})
+	mux.HandleFunc("GET /trust/register", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		writeJSON(w, r, s.ServeRegistrationPage(now(r)))
+	})
+	mux.HandleFunc("POST /trust/register", func(w http.ResponseWriter, r *http.Request) {
+		var sub protocol.RegistrationSubmit
+		if !readJSON(w, r, &sub) {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		writeJSON(w, r, s.HandleRegistration(now(r), &sub, r.URL.Query().Get("recovery")))
+	})
+	mux.HandleFunc("GET /trust/login", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		writeJSON(w, r, s.ServeLoginPage(now(r)))
+	})
+	mux.HandleFunc("POST /trust/login", func(w http.ResponseWriter, r *http.Request) {
+		var sub protocol.LoginSubmit
+		if !readJSON(w, r, &sub) {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		cp, err := s.HandleLogin(now(r), &sub)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
+		writeJSON(w, r, cp)
+	})
+	mux.HandleFunc("POST /trust/page", func(w http.ResponseWriter, r *http.Request) {
+		var req protocol.PageRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		cp, err := s.HandlePageRequest(now(r), &req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
+		writeJSON(w, r, cp)
+	})
+	mux.HandleFunc("GET /trust/audit", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		report := s.RunAudit()
+		writeJSON(w, r, map[string]any{
+			"checked":  report.Checked,
+			"tampered": report.Tampered,
+		})
+	})
+	return mux
+}
+
+// FetchCertificate retrieves a server certificate over HTTP (client
+// side helper shared by the HTTP transport and the trustdevice tool).
+func FetchCertificate(client *http.Client, baseURL string) (*pki.Certificate, error) {
+	resp, err := client.Get(baseURL + "/trust/cert")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("webserver: cert fetch status %s", resp.Status)
+	}
+	var cert pki.Certificate
+	if err := json.NewDecoder(resp.Body).Decode(&cert); err != nil {
+		return nil, err
+	}
+	return &cert, nil
+}

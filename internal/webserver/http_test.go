@@ -1,0 +1,149 @@
+package webserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"trust/internal/frame"
+	"trust/internal/pki"
+	"trust/internal/protocol"
+)
+
+func httpRig(t *testing.T) (*rig, *httptest.Server) {
+	t.Helper()
+	r := newRig(t)
+	ts := httptest.NewServer(r.server.Handler())
+	t.Cleanup(ts.Close)
+	return r, ts
+}
+
+func TestHTTPCertEndpoint(t *testing.T) {
+	r, ts := httpRig(t)
+	cert, err := FetchCertificate(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Verify(r.ca.PublicKey(), pki.RoleServer); err != nil {
+		t.Fatalf("fetched certificate invalid: %v", err)
+	}
+}
+
+func TestHTTPFetchCertificateBadURL(t *testing.T) {
+	if _, err := FetchCertificate(http.DefaultClient, "http://127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable server returned a certificate")
+	}
+}
+
+func TestHTTPRegistrationPageEndpoint(t *testing.T) {
+	_, ts := httpRig(t)
+	resp, err := ts.Client().Get(ts.URL + "/trust/register?now=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page protocol.RegistrationPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Domain != "www.xyz.com" || page.Nonce == "" || page.Page == nil {
+		t.Fatalf("registration page malformed: %+v", page)
+	}
+}
+
+func TestHTTPBadJSONBodyRejected(t *testing.T) {
+	_, ts := httpRig(t)
+	for _, path := range []string{"/trust/register", "/trust/login", "/trust/page"} {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader("{broken"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with broken JSON: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPLoginRejectionIs403(t *testing.T) {
+	_, ts := httpRig(t)
+	body, _ := json.Marshal(&protocol.LoginSubmit{Domain: "www.xyz.com", Account: "ghost"})
+	resp, err := ts.Client().Post(ts.URL+"/trust/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("forged login status %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestHTTPPageRequestRejectionIs403(t *testing.T) {
+	_, ts := httpRig(t)
+	body, _ := json.Marshal(&protocol.PageRequest{Domain: "www.xyz.com", Account: "g", SessionID: "nope"})
+	resp, err := ts.Client().Post(ts.URL+"/trust/page", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("forged page request status %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestHTTPAuditEndpoint(t *testing.T) {
+	r, ts := httpRig(t)
+	r.register(t, "audit-acct")
+	resp, err := ts.Client().Get(ts.URL + "/trust/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["checked"] != 1 || out["tampered"] != 0 {
+		t.Fatalf("audit endpoint: %v", out)
+	}
+}
+
+func TestHTTPEndToEndOverSockets(t *testing.T) {
+	r, ts := httpRig(t)
+	// Full registration + login over real HTTP, driving the protocol
+	// client directly against the HTTP-decoded messages.
+	resp, err := ts.Client().Get(ts.URL + "/trust/register?now=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regPage protocol.RegistrationPage
+	if err := json.NewDecoder(resp.Body).Decode(&regPage); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	r.client.DisplayPage(regPage.Page, frame.View{Zoom: 1})
+	r.touchButton(t)
+	sub, err := r.client.HandleRegistrationPage(r.now, &regPage, "sock-acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(sub)
+	resp, err = ts.Client().Post(ts.URL+"/trust/register?recovery=pw", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res protocol.RegistrationResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !res.OK {
+		t.Fatalf("HTTP registration rejected: %s", res.Reason)
+	}
+	if _, ok := r.server.Account("sock-acct"); !ok {
+		t.Fatal("account not stored after HTTP registration")
+	}
+}

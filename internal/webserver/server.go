@@ -1,0 +1,210 @@
+// Package webserver implements the remote side of TRUST (Fig 8): a web
+// service with a CA-signed certificate, account database holding each
+// user's registered public key, nonce management, session keys, a
+// continuous-authentication risk policy applied to every request, and
+// the frame-hash audit log the paper's offline audit inspects.
+package webserver
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+
+	"trust/internal/frame"
+	"trust/internal/pki"
+	"trust/internal/protocol"
+)
+
+// RiskPolicy is the server's continuous-auth requirement: of the last
+// Window touches the module reports, at least MinVerified must have
+// produced a verified fingerprint (the paper's k-of-n measure). A
+// report with a shorter window (session just started) is accepted when
+// it contains at least one verification.
+type RiskPolicy struct {
+	Window      int
+	MinVerified int
+}
+
+// DefaultRiskPolicy matches the reproduction's capture rates: with
+// optimized placement a third to a half of natural touches verify, so
+// 2-of-12 tolerates quality rejections and off-sensor stretches while
+// an impostor (0 verifications) fails immediately.
+func DefaultRiskPolicy() RiskPolicy { return RiskPolicy{Window: 12, MinVerified: 2} }
+
+// ok applies the policy to a reported risk factor.
+func (p RiskPolicy) ok(verified, window int) bool {
+	if window <= 0 {
+		return false
+	}
+	if window >= p.Window {
+		return verified >= p.MinVerified
+	}
+	need := p.MinVerified * window / p.Window
+	if need < 1 {
+		need = 1
+	}
+	return verified >= need
+}
+
+// Account is one registered user binding.
+type Account struct {
+	ID            string
+	PublicKey     ed25519.PublicKey
+	DeviceSubject string
+	// RecoveryPassword supports the paper's identity-reset fallback
+	// ("the user can rely on her old passwords").
+	RecoveryPassword string
+	RegisteredAt     time.Duration
+}
+
+// session is the server-side session state.
+type session struct {
+	id        string
+	account   string
+	key       []byte
+	lastNonce protocol.Nonce
+	// lastPage is the URL of the page most recently served on this
+	// session — the page the user is viewing when the next request's
+	// frame hash arrives, and therefore the page that hash is audited
+	// against.
+	lastPage string
+	requests int
+	revoked  bool
+}
+
+// Server is one TRUST-enabled web service.
+type Server struct {
+	domain  string
+	keys    pki.KeyPair
+	kem     pki.KemPair
+	cert    *pki.Certificate
+	caPub   ed25519.PublicKey
+	entropy *pki.DeterministicRand
+
+	accounts map[string]*Account
+	sessions map[string]*session
+	nonces   map[protocol.Nonce]bool // issued and not yet consumed
+	pages    map[string]*frame.Page  // served pages by URL
+	homeURL  string
+	loginURL string
+	regURL   string
+
+	policy   RiskPolicy
+	audit    frame.AuditLog
+	screenPX float64
+
+	// failedLogins tracks per-account login failures for rate limiting;
+	// accounts lock after MaxLoginFailures until ResetIdentity or a
+	// successful login within the budget.
+	failedLogins     map[string]int
+	MaxLoginFailures int
+
+	// Counters for the experiment harness.
+	RejectedRequests int
+	AcceptedRequests int
+}
+
+// New creates a server for domain with a certificate from ca.
+func New(domain string, ca *pki.CA, seed uint64) (*Server, error) {
+	entropy := pki.NewDeterministicRand(seed ^ 0x5e77e7)
+	keys, err := pki.GenerateKeyPair(entropy)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: keys: %w", err)
+	}
+	kem, err := pki.GenerateKemPair(entropy)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: KEM keys: %w", err)
+	}
+	cert, err := ca.IssueWithKem(domain, pki.RoleServer, keys.Public, kem.Public.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("webserver: certificate: %w", err)
+	}
+	s := &Server{
+		domain:           domain,
+		keys:             keys,
+		kem:              kem,
+		cert:             cert,
+		caPub:            ca.PublicKey(),
+		entropy:          entropy,
+		accounts:         make(map[string]*Account),
+		sessions:         make(map[string]*session),
+		nonces:           make(map[protocol.Nonce]bool),
+		pages:            make(map[string]*frame.Page),
+		policy:           DefaultRiskPolicy(),
+		screenPX:         800,
+		failedLogins:     make(map[string]int),
+		MaxLoginFailures: 10,
+	}
+	s.installDefaultPages()
+	return s, nil
+}
+
+// Domain returns the server's domain.
+func (s *Server) Domain() string { return s.domain }
+
+// Certificate returns the server's CA-signed certificate.
+func (s *Server) Certificate() *pki.Certificate { return s.cert.Clone() }
+
+// SetRiskPolicy overrides the continuous-auth policy.
+func (s *Server) SetRiskPolicy(p RiskPolicy) { s.policy = p }
+
+// Account returns a registered account, if any.
+func (s *Server) Account(id string) (*Account, bool) {
+	a, ok := s.accounts[id]
+	return a, ok
+}
+
+// Pages returns the served pages keyed by URL (the audit input).
+func (s *Server) Pages() map[string]*frame.Page {
+	out := make(map[string]*frame.Page, len(s.pages))
+	for k, v := range s.pages {
+		out[k] = v
+	}
+	return out
+}
+
+// AuditLog returns the accumulated frame-hash log.
+func (s *Server) AuditLog() *frame.AuditLog { return &s.audit }
+
+// RunAudit verifies every logged frame hash against the finite view
+// sets of the served pages (the paper's offline audit).
+func (s *Server) RunAudit() frame.AuditReport {
+	return frame.Audit(&s.audit, s.Pages(), s.screenPX)
+}
+
+// newNonce mints a fresh single-use nonce.
+func (s *Server) newNonce() protocol.Nonce {
+	b := make([]byte, 16)
+	s.entropy.Read(b)
+	n := protocol.Nonce(hex.EncodeToString(b))
+	s.nonces[n] = true
+	return n
+}
+
+// consumeNonce validates and burns a nonce; replayed or unknown nonces
+// fail.
+func (s *Server) consumeNonce(n protocol.Nonce) bool {
+	if !s.nonces[n] {
+		return false
+	}
+	delete(s.nonces, n)
+	return true
+}
+
+func (s *Server) sign(data []byte) []byte {
+	return ed25519.Sign(s.keys.Private, data)
+}
+
+// Errors the handlers return.
+var (
+	ErrBadNonce       = errors.New("webserver: unknown or replayed nonce")
+	ErrBadSignature   = errors.New("webserver: signature verification failed")
+	ErrBadMAC         = errors.New("webserver: MAC verification failed")
+	ErrUnknownAccount = errors.New("webserver: unknown account")
+	ErrUnknownSession = errors.New("webserver: unknown or revoked session")
+	ErrRiskPolicy     = errors.New("webserver: continuous-auth risk policy violated")
+	ErrTaken          = errors.New("webserver: account already bound")
+	ErrRateLimited    = errors.New("webserver: account locked after repeated login failures")
+)
