@@ -15,13 +15,18 @@ import (
 // benchArtifact runs a generator b.N times and sanity-checks it.
 func benchArtifact(b *testing.B, gen func() (harness.Result, error)) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := gen()
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
+			// Rendering the artifact into the log is not part of the
+			// simulation cost being measured.
+			b.StopTimer()
 			b.Log("\n" + r.String())
+			b.StartTimer()
 		}
 	}
 }

@@ -8,25 +8,29 @@
 //	benchtab -fig 7              # Figure 7
 //	benchtab -x attacks          # extension experiment X3
 //	benchtab -all -seed 99       # different deterministic seed
+//	benchtab -json               # measure every artifact, write BENCH_harness.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"testing"
 
 	"trust/internal/harness"
 )
 
 func main() {
 	var (
-		all   = flag.Bool("all", false, "regenerate every table and figure")
-		table = flag.Int("table", 0, "regenerate Table N (1 or 2)")
-		fig   = flag.Int("fig", 0, "regenerate Figure N (1..10)")
-		ext   = flag.String("x", "", "extension experiment: placement|window|attacks|energy|frameaudit|transfer|fuzzyvault|modalities|hijack|imagepipeline|adaptation|noise|personalization")
-		seed  = flag.Uint64("seed", harness.Seed, "deterministic experiment seed")
-		out   = flag.String("out", "", "also write each artifact to <out>/<id>.txt")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		table    = flag.Int("table", 0, "regenerate Table N (1 or 2)")
+		fig      = flag.Int("fig", 0, "regenerate Figure N (1..10)")
+		ext      = flag.String("x", "", "extension experiment: placement|window|attacks|energy|frameaudit|transfer|fuzzyvault|modalities|hijack|imagepipeline|adaptation|noise|personalization")
+		seed     = flag.Uint64("seed", harness.Seed, "deterministic experiment seed")
+		out      = flag.String("out", "", "also write each artifact to <out>/<id>.txt")
+		jsonPath = flag.String("json", "", "measure every artifact generator and write {name: {ns_per_op, allocs_per_op}} to the given file ('' = off; '-' = BENCH_harness.json)")
 	)
 	flag.Parse()
 
@@ -54,6 +58,15 @@ func main() {
 	}
 
 	switch {
+	case *jsonPath != "":
+		path := *jsonPath
+		if path == "-" {
+			path = "BENCH_harness.json"
+		}
+		if err := writeBenchJSON(path, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
 	case *all:
 		results, err := harness.AllResults(*seed)
 		if err != nil {
@@ -107,4 +120,76 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// benchEntry is one measured artifact in the -json report.
+type benchEntry struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// writeBenchJSON measures every artifact generator with
+// testing.Benchmark and writes the machine-readable timing report. The
+// names mirror the Benchmark* functions in bench_test.go, so CI can
+// diff this file against `go test -bench` output.
+func writeBenchJSON(path string, seed uint64) error {
+	gens := []struct {
+		name string
+		fn   func() (harness.Result, error)
+	}{
+		{"Table1", func() (harness.Result, error) { return harness.Table1(seed) }},
+		{"Table2", func() (harness.Result, error) { return harness.Table2() }},
+		{"Fig1", func() (harness.Result, error) { return harness.Fig1(seed) }},
+		{"Fig2", func() (harness.Result, error) { return harness.Fig2(seed) }},
+		{"Fig3", func() (harness.Result, error) { return harness.Fig3() }},
+		{"Fig4", func() (harness.Result, error) { return harness.Fig4(seed) }},
+		{"Fig5", func() (harness.Result, error) { return harness.Fig5(seed) }},
+		{"Fig6", func() (harness.Result, error) { return harness.Fig6(seed) }},
+		{"Fig7", func() (harness.Result, error) { return harness.Fig7(seed) }},
+		{"Fig8", func() (harness.Result, error) { return harness.Fig8(seed) }},
+		{"Fig9", func() (harness.Result, error) { return harness.Fig9(seed) }},
+		{"Fig10", func() (harness.Result, error) { return harness.Fig10(seed) }},
+		{"Placement", func() (harness.Result, error) { return harness.XPlacement(seed) }},
+		{"WindowPolicy", func() (harness.Result, error) { return harness.XWindow(seed) }},
+		{"Attacks", func() (harness.Result, error) { return harness.XAttacks(seed) }},
+		{"Energy", func() (harness.Result, error) { return harness.XEnergy(seed) }},
+		{"FrameAudit", func() (harness.Result, error) { return harness.XFrameAudit(seed) }},
+		{"Transfer", func() (harness.Result, error) { return harness.XTransfer(seed) }},
+		{"FuzzyVault", func() (harness.Result, error) { return harness.XFuzzyVault(seed) }},
+		{"Modalities", func() (harness.Result, error) { return harness.XModalities(seed) }},
+		{"Hijack", func() (harness.Result, error) { return harness.XHijack(seed) }},
+		{"ImagePipeline", func() (harness.Result, error) { return harness.XImagePipeline(seed) }},
+		{"Adaptation", func() (harness.Result, error) { return harness.XAdaptation(seed) }},
+		{"Noise", func() (harness.Result, error) { return harness.XNoise(seed) }},
+		{"Personalization", func() (harness.Result, error) { return harness.XPersonalization(seed) }},
+	}
+	// Fail on an unwritable path before spending minutes measuring.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	report := make(map[string]benchEntry, len(gens))
+	for _, g := range gens {
+		var genErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.fn(); err != nil {
+					genErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if genErr != nil {
+			return fmt.Errorf("%s: %w", g.name, genErr)
+		}
+		report[g.name] = benchEntry{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
+		fmt.Fprintf(os.Stderr, "%-16s %12d ns/op %12d allocs/op\n", g.name, res.NsPerOp(), res.AllocsPerOp())
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -17,6 +17,7 @@ import (
 	"trust/internal/pki"
 	"trust/internal/placement"
 	"trust/internal/protocol"
+	"trust/internal/sim"
 	"trust/internal/touch"
 	"trust/internal/webserver"
 )
@@ -115,17 +116,19 @@ func All(seed uint64) []Result {
 		{"rogue-server-cert", rogueServer},
 		{"account-takeover-foreign-device", foreignDevice},
 	}
-	var out []Result
-	for i, a := range attacks {
+	// Each attack builds its own deployment from its own derived seed,
+	// so the suite parallelizes trivially: results are identical to the
+	// serial loop at any worker count (see sim.ParMap's contract).
+	out, _ := sim.ParMap(len(attacks), func(i int) (Result, error) {
+		a := attacks[i]
 		r, err := newRig(seed + uint64(i)*64)
 		if err != nil {
-			out = append(out, Result{Name: a.name, Defended: false, Err: err})
-			continue
+			return Result{Name: a.name, Defended: false, Err: err}, nil
 		}
 		res := a.run(r)
 		res.Name = a.name
-		out = append(out, res)
-	}
+		return res, nil
+	})
 	return out
 }
 

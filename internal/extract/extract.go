@@ -74,7 +74,7 @@ func Minutiae(img *sensor.BitImage, pitchMM float64, opts Options) []fingerprint
 	var out []fingerprint.Minutia
 	for y := opts.BorderPX; y < h-opts.BorderPX; y++ {
 		for x := opts.BorderPX; x < w-opts.BorderPX; x++ {
-			if !skel[y*w+x] {
+			if skel[y*w+x] == 0 {
 				continue
 			}
 			switch crossingNumber(skel, w, x, y) {
@@ -98,39 +98,63 @@ func Minutiae(img *sensor.BitImage, pitchMM float64, opts Options) []fingerprint
 	return out
 }
 
-// toGrid unpacks the bit image.
-func toGrid(img *sensor.BitImage) []bool {
+// toGrid unpacks the bit image into a 0/1 byte grid. Bytes rather than
+// bools let the hot filters below count neighbourhoods with straight
+// adds instead of branches.
+func toGrid(img *sensor.BitImage) []uint8 {
 	w, h := img.W(), img.H()
-	g := make([]bool, w*h)
+	g := make([]uint8, w*h)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
-			g[y*w+x] = img.Get(x, y)
+			if img.Get(x, y) {
+				g[y*w+x] = 1
+			}
 		}
 	}
 	return g
 }
 
 // majority3x3 despeckles: each pixel takes the majority of its 3x3
-// neighborhood.
-func majority3x3(g []bool, w, h int) []bool {
-	out := make([]bool, len(g))
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			count, total := 0, 0
-			for dy := -1; dy <= 1; dy++ {
-				for dx := -1; dx <= 1; dx++ {
-					nx, ny := x+dx, y+dy
-					if nx < 0 || nx >= w || ny < 0 || ny >= h {
-						continue
-					}
-					total++
-					if g[ny*w+nx] {
-						count++
-					}
-				}
+// neighborhood. Interior pixels (the overwhelming majority) take the
+// branch-free direct-index path; only the one-pixel border pays the
+// bounds-checked generic loop.
+func majority3x3(g []uint8, w, h int) []uint8 {
+	out := make([]uint8, len(g))
+	for y := 1; y < h-1; y++ {
+		up, mid, dn := g[(y-1)*w:y*w], g[y*w:(y+1)*w], g[(y+1)*w:(y+2)*w]
+		row := out[y*w : (y+1)*w]
+		for x := 1; x < w-1; x++ {
+			count := up[x-1] + up[x] + up[x+1] +
+				mid[x-1] + mid[x] + mid[x+1] +
+				dn[x-1] + dn[x] + dn[x+1]
+			if count >= 5 { // total 9: count*2 > 9
+				row[x] = 1
 			}
-			out[y*w+x] = count*2 > total
 		}
+	}
+	edge := func(x, y int) {
+		count, total := 0, 0
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := x+dx, y+dy
+				if nx < 0 || nx >= w || ny < 0 || ny >= h {
+					continue
+				}
+				total++
+				count += int(g[ny*w+nx])
+			}
+		}
+		if count*2 > total {
+			out[y*w+x] = 1
+		}
+	}
+	for x := 0; x < w; x++ {
+		edge(x, 0)
+		edge(x, h-1)
+	}
+	for y := 1; y < h-1; y++ {
+		edge(0, y)
+		edge(w-1, y)
 	}
 	return out
 }
@@ -139,61 +163,82 @@ func majority3x3(g []bool, w, h int) []bool {
 // Zhang-Suen formulation).
 var neighbors8 = [8][2]int{{0, -1}, {1, -1}, {1, 0}, {1, 1}, {0, 1}, {-1, 1}, {-1, 0}, {-1, -1}}
 
-// thin runs Zhang-Suen thinning to a 1-px skeleton.
-func thin(g []bool, w, h int) []bool {
-	skel := make([]bool, len(g))
+// thin runs Zhang-Suen thinning to a 1-px skeleton. The scan only
+// touches interior pixels, so every neighbour load is in range and
+// indexes directly; the kill list is reused across passes.
+func thin(g []uint8, w, h int) []uint8 {
+	skel := make([]uint8, len(g))
 	copy(skel, g)
-	at := func(x, y int) bool {
-		if x < 0 || x >= w || y < 0 || y >= h {
-			return false
-		}
-		return skel[y*w+x]
-	}
+	kill := make([]int32, 0, 256)
 	for {
 		changed := false
 		for pass := 0; pass < 2; pass++ {
-			var kill []int
+			kill = kill[:0]
 			for y := 1; y < h-1; y++ {
+				base := y * w
 				for x := 1; x < w-1; x++ {
-					if !skel[y*w+x] {
+					i := base + x
+					if skel[i] == 0 {
 						continue
 					}
-					var p [8]bool
-					n := 0
-					for i, d := range neighbors8 {
-						p[i] = at(x+d[0], y+d[1])
-						if p[i] {
-							n++
-						}
-					}
+					// P2..P9 in the Zhang-Suen circular order
+					// (N, NE, E, SE, S, SW, W, NW).
+					p0 := skel[i-w]
+					p1 := skel[i-w+1]
+					p2 := skel[i+1]
+					p3 := skel[i+w+1]
+					p4 := skel[i+w]
+					p5 := skel[i+w-1]
+					p6 := skel[i-1]
+					p7 := skel[i-w-1]
+					n := int(p0) + int(p1) + int(p2) + int(p3) + int(p4) + int(p5) + int(p6) + int(p7)
 					if n < 2 || n > 6 {
 						continue
 					}
 					// Transitions 0->1 around the circle.
 					a := 0
-					for i := 0; i < 8; i++ {
-						if !p[i] && p[(i+1)%8] {
-							a++
-						}
+					if p0 == 0 && p1 == 1 {
+						a++
+					}
+					if p1 == 0 && p2 == 1 {
+						a++
+					}
+					if p2 == 0 && p3 == 1 {
+						a++
+					}
+					if p3 == 0 && p4 == 1 {
+						a++
+					}
+					if p4 == 0 && p5 == 1 {
+						a++
+					}
+					if p5 == 0 && p6 == 1 {
+						a++
+					}
+					if p6 == 0 && p7 == 1 {
+						a++
+					}
+					if p7 == 0 && p0 == 1 {
+						a++
 					}
 					if a != 1 {
 						continue
 					}
 					// P2*P4*P6 (pass 0) or P2*P4*P8 (pass 1), etc.
 					if pass == 0 {
-						if (p[0] && p[2] && p[4]) || (p[2] && p[4] && p[6]) {
+						if (p0&p2&p4) == 1 || (p2&p4&p6) == 1 {
 							continue
 						}
 					} else {
-						if (p[0] && p[2] && p[6]) || (p[0] && p[4] && p[6]) {
+						if (p0&p2&p6) == 1 || (p0&p4&p6) == 1 {
 							continue
 						}
 					}
-					kill = append(kill, y*w+x)
+					kill = append(kill, int32(i))
 				}
 			}
 			for _, i := range kill {
-				skel[i] = false
+				skel[i] = 0
 			}
 			if len(kill) > 0 {
 				changed = true
@@ -207,12 +252,12 @@ func thin(g []bool, w, h int) []bool {
 
 // crossingNumber is half the number of 0/1 transitions around the
 // pixel: 1 = ridge ending, 2 = ridge continuation, >= 3 = bifurcation.
-func crossingNumber(skel []bool, w, x, y int) int {
+func crossingNumber(skel []uint8, w, x, y int) int {
 	a := 0
 	for i := 0; i < 8; i++ {
 		c := skel[(y+neighbors8[i][1])*w+x+neighbors8[i][0]]
 		n := skel[(y+neighbors8[(i+1)%8][1])*w+x+neighbors8[(i+1)%8][0]]
-		if !c && n {
+		if c == 0 && n == 1 {
 			a++
 		}
 	}
@@ -220,12 +265,12 @@ func crossingNumber(skel []bool, w, x, y int) int {
 }
 
 // pruneSpurs removes endpoint branches shorter than minLen.
-func pruneSpurs(skel []bool, w, h, minLen int) {
+func pruneSpurs(skel []uint8, w, h, minLen int) {
 	for iter := 0; iter < minLen; iter++ {
 		var kill []int
 		for y := 1; y < h-1; y++ {
 			for x := 1; x < w-1; x++ {
-				if skel[y*w+x] && crossingNumber(skel, w, x, y) == 1 {
+				if skel[y*w+x] == 1 && crossingNumber(skel, w, x, y) == 1 {
 					// Endpoint of a short branch: check branch length.
 					if branchLen(skel, w, h, x, y, minLen) < minLen {
 						kill = append(kill, y*w+x)
@@ -237,14 +282,14 @@ func pruneSpurs(skel []bool, w, h, minLen int) {
 			return
 		}
 		for _, i := range kill {
-			skel[i] = false
+			skel[i] = 0
 		}
 	}
 }
 
 // branchLen walks from an endpoint along the skeleton until a junction
 // or maxLen steps.
-func branchLen(skel []bool, w, h, x, y, maxLen int) int {
+func branchLen(skel []uint8, w, h, x, y, maxLen int) int {
 	px, py := -1, -1
 	steps := 0
 	for steps < maxLen {
@@ -254,7 +299,7 @@ func branchLen(skel []bool, w, h, x, y, maxLen int) int {
 			if qx < 0 || qx >= w || qy < 0 || qy >= h {
 				continue
 			}
-			if skel[qy*w+qx] && !(qx == px && qy == py) {
+			if skel[qy*w+qx] == 1 && !(qx == px && qy == py) {
 				nx, ny = qx, qy
 				found++
 			}
@@ -274,13 +319,13 @@ func branchLen(skel []bool, w, h, x, y, maxLen int) int {
 // smoothed binary image — far more stable between independent scans
 // than any directed skeleton-walk convention. Matching image-extracted
 // features therefore uses MatcherConfig.OrientationOnly.
-func minutiaAt(grid []bool, w, h, x, y int, typ fingerprint.MinutiaType, pitchMM float64) fingerprint.Minutia {
+func minutiaAt(grid []uint8, w, h, x, y int, typ fingerprint.MinutiaType, pitchMM float64) fingerprint.Minutia {
 	const r = 7
 	val := func(qx, qy int) float64 {
 		if qx < 0 || qx >= w || qy < 0 || qy >= h {
 			return 0
 		}
-		if grid[qy*w+qx] {
+		if grid[qy*w+qx] == 1 {
 			return 1
 		}
 		return -1

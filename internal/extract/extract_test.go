@@ -132,22 +132,22 @@ func TestThinProducesThinSkeleton(t *testing.T) {
 	// A thick solid stripe must thin to a (mostly) 1-px line: no pixel
 	// retains a full 3x3 solid neighborhood.
 	const w, h = 40, 20
-	g := make([]bool, w*h)
+	g := make([]uint8, w*h)
 	for y := 6; y < 14; y++ {
 		for x := 2; x < 38; x++ {
-			g[y*w+x] = true
+			g[y*w+x] = 1
 		}
 	}
 	skel := thin(g, w, h)
 	for y := 1; y < h-1; y++ {
 		for x := 1; x < w-1; x++ {
-			if !skel[y*w+x] {
+			if skel[y*w+x] == 0 {
 				continue
 			}
 			solid := true
 			for dy := -1; dy <= 1 && solid; dy++ {
 				for dx := -1; dx <= 1; dx++ {
-					if !skel[(y+dy)*w+x+dx] {
+					if skel[(y+dy)*w+x+dx] == 0 {
 						solid = false
 						break
 					}

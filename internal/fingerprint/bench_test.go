@@ -3,6 +3,7 @@ package fingerprint
 import (
 	"testing"
 
+	"trust/internal/geom"
 	"trust/internal/sim"
 )
 
@@ -58,5 +59,85 @@ func BenchmarkMatchImpostor(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Match(tpl, cap)
+	}
+}
+
+// BenchmarkMatchGenuineGrid sweeps genuine captures across a grid of
+// contact centres — the matcher's production access pattern, where
+// every touch lands somewhere else on the fingertip and the recovered
+// shift differs per capture.
+func BenchmarkMatchGenuineGrid(b *testing.B) {
+	f := Synthesize(1, Loop)
+	tpl := NewTemplate(f)
+	rng := sim.NewRNG(4)
+	c := f.Bounds().Center()
+	var caps []*Capture
+	for dy := -2.0; dy <= 2.0; dy += 2 {
+		for dx := -2.0; dx <= 2.0; dx += 2 {
+			contact := Contact{
+				Center:   geom.Point{X: c.X + dx, Y: c.Y + dy},
+				Radius:   NominalContactRadiusMM,
+				Pressure: 0.7, SpeedMMS: 1,
+			}
+			caps = append(caps, Acquire(f, contact, rng))
+		}
+	}
+	cfg := DefaultMatcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Match(tpl, caps[i%len(caps)])
+	}
+}
+
+// BenchmarkHoughVote isolates the voting stage: the dense accumulator
+// fill that replaced the per-call map, measured without hypothesis
+// selection or pairing.
+func BenchmarkHoughVote(b *testing.B) {
+	f := Synthesize(1, Loop)
+	tpl := NewTemplate(f)
+	rng := sim.NewRNG(5)
+	cap := Acquire(f, goodContactBench(f, rng), rng)
+	cfg := DefaultMatcher()
+	sc := scratchPool.Get().(*matchScratch)
+	defer scratchPool.Put(sc)
+	rotHalf := int(cfg.MaxRotRad/cfg.RotBinRad) + 1
+	posHalf := 64
+	posSpan := 2*posHalf + 1
+	sc.votes = grow(sc.votes, (2*rotHalf+1)*posSpan*posSpan)
+	for i := range sc.votes {
+		sc.votes[i] = 0
+	}
+	sc.touched = sc.touched[:0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.houghVote(sc, tpl.Minutiae, cap.Minutiae, rotHalf, posHalf, posSpan)
+		for _, idx := range sc.touched {
+			sc.votes[idx] = 0
+		}
+		sc.touched = sc.touched[:0]
+	}
+}
+
+// TestMatchSteadyStateAllocations pins down the hot-path optimization:
+// after warmup the matcher must run without allocating — the vote map,
+// sort slices, and used marks of the original implementation are all
+// pooled scratch now.
+func TestMatchSteadyStateAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector intentionally defeats sync.Pool reuse")
+	}
+	f := Synthesize(1, Loop)
+	tpl := NewTemplate(f)
+	rng := sim.NewRNG(6)
+	cap := Acquire(f, goodContactBench(f, rng), rng)
+	cfg := DefaultMatcher()
+	cfg.Match(tpl, cap) // warm the scratch pool
+	allocs := testing.AllocsPerRun(50, func() {
+		cfg.Match(tpl, cap)
+	})
+	if allocs > 0 {
+		t.Errorf("Match allocates %.1f objects per call in steady state, want 0", allocs)
 	}
 }

@@ -183,3 +183,29 @@ func TestMinutiaTransformRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRasterMatchesAnalyticPhase pins the complex-product raster fill
+// (buildRaster) to the analytic reference it replaced (phaseAt): at
+// every raster lattice point the stored value must equal
+// cos(phaseAt(p)) to well under the sensor comparator noise floor.
+func TestRasterMatchesAnalyticPhase(t *testing.T) {
+	f := Synthesize(0x9a57e6, Whorl)
+	f.rasterOnce.Do(f.buildRaster)
+	worst := 0.0
+	for iy := 0; iy < f.rasterH; iy += 3 {
+		y := f.bounds.Min.Y + float64(iy)*rasterStepMM
+		for ix := 0; ix < f.rasterW; ix += 3 {
+			x := f.bounds.Min.X + float64(ix)*rasterStepMM
+			want := math.Cos(f.phaseAt(geom.Point{X: x, Y: y}))
+			got := float64(f.raster[iy*f.rasterW+ix])
+			if d := math.Abs(got - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	// float32 storage plus the complex-product accumulation budget;
+	// the comparator noise sigma the sensor adds on top is 0.12.
+	if worst > 1e-4 {
+		t.Fatalf("raster deviates from analytic phase by %g", worst)
+	}
+}

@@ -2,7 +2,7 @@ package fingerprint
 
 import (
 	"math"
-	"sort"
+	"sync"
 
 	"trust/internal/geom"
 )
@@ -70,6 +70,67 @@ type MatchResult struct {
 	Accepted bool
 }
 
+// hyp is one Hough transform hypothesis: a (rotation, translation) bin
+// and its vote count.
+type hyp struct {
+	rot, tx, ty int
+	count       int32
+}
+
+// hypLess is the deterministic hypothesis ordering: strongest first,
+// ties broken on the bin key. It matches the order a serial sort of the
+// old map-based accumulator produced, so hypothesis evaluation order —
+// and therefore every MatchResult — is unchanged.
+func hypLess(a, b hyp) bool {
+	if a.count != b.count {
+		return a.count > b.count
+	}
+	if a.rot != b.rot {
+		return a.rot < b.rot
+	}
+	if a.tx != b.tx {
+		return a.tx < b.tx
+	}
+	return a.ty < b.ty
+}
+
+// maxHyps is how many top vote peaks are scored exactly (neighbouring
+// bins can split the true peak).
+const maxHyps = 6
+
+// matchScratch holds the per-call working memory of Match. The vote
+// accumulator is a dense (rotation x tx x ty) grid reset sparsely via
+// the touched list, so a comparison allocates nothing in steady state;
+// scratches are recycled through a sync.Pool, which keeps the matcher
+// safe under the parallel sweep engine (each worker checks out its
+// own).
+type matchScratch struct {
+	votes   []int32 // dense vote grid, zero outside touched
+	touched []int32 // indices of non-zero votes
+	top     [maxHyps]hyp
+
+	// Spatial grid over template minutiae for countMatches: cellStart
+	// is CSR-style offsets into cellItems, cells are PosTolMM-sized.
+	cellStart []int32
+	cellItems []int32
+	cellCount []int32
+	used      []bool
+
+	gridMinX, gridMinY float64
+	gridCell           float64
+	gridCols, gridRows int
+}
+
+var scratchPool = sync.Pool{New: func() any { return &matchScratch{} }}
+
+// grow returns s resized to n, reusing capacity.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // Match compares an enrolled template against a capture. Captures that
 // failed the quality gate still get a score (attack experiments need
 // it); the caller is responsible for discarding them per Fig 6.
@@ -80,77 +141,79 @@ func (cfg MatcherConfig) Match(t *Template, c *Capture) MatchResult {
 		return res
 	}
 
-	// Hough voting: each (template, probe) pair of equal type proposes
-	// a rotation bin; within a rotation bin it proposes a translation.
-	type voteKey struct{ rot, tx, ty int }
-	votes := make(map[voteKey]int)
-	for _, tm := range t.Minutiae {
-		for _, pm := range probe {
-			if !cfg.IgnoreType && tm.Type != pm.Type {
-				continue
+	sc := scratchPool.Get().(*matchScratch)
+	defer scratchPool.Put(sc)
+
+	// Dense Hough accumulator extents: rotation bins span [-MaxRot,
+	// MaxRot]; translation bins are bounded by the largest possible
+	// shift magnitude (rotation preserves the norm of a position, so
+	// |shift| <= max|template pos| + max|probe pos|).
+	rotHalf := int(cfg.MaxRotRad/cfg.RotBinRad) + 1
+	maxNorm := func(ms []Minutia) float64 {
+		m := 0.0
+		for _, x := range ms {
+			if n := math.Abs(x.Pos.X) + math.Abs(x.Pos.Y); n > m {
+				m = n
 			}
-			dTheta := cfg.angleDelta(tm.Angle, pm.Angle)
-			if math.Abs(dTheta) > cfg.MaxRotRad {
-				continue
-			}
-			rotBin := int(math.Round(dTheta / cfg.RotBinRad))
-			rot := float64(rotBin) * cfg.RotBinRad
-			moved := pm.Pos.Rotate(rot)
-			shift := tm.Pos.Sub(moved)
-			votes[voteKey{
-				rot: rotBin,
-				tx:  int(math.Round(shift.X / cfg.PosBinMM)),
-				ty:  int(math.Round(shift.Y / cfg.PosBinMM)),
-			}]++
 		}
+		return m
 	}
-	if len(votes) == 0 {
+	posHalf := int((maxNorm(t.Minutiae)+maxNorm(probe))/cfg.PosBinMM) + 2
+	rotSpan, posSpan := 2*rotHalf+1, 2*posHalf+1
+	sc.votes = grow(sc.votes, rotSpan*posSpan*posSpan)
+	sc.touched = sc.touched[:0]
+
+	cfg.houghVote(sc, t.Minutiae, probe, rotHalf, posHalf, posSpan)
+	if len(sc.touched) == 0 {
 		return res
 	}
 
-	// Take the strongest few hypotheses (neighbouring bins can split
-	// the true peak) and score each exactly.
-	type hyp struct {
-		key   voteKey
-		count int
-	}
-	hyps := make([]hyp, 0, len(votes))
-	for k, v := range votes {
-		hyps = append(hyps, hyp{k, v})
-	}
-	sort.Slice(hyps, func(i, j int) bool {
-		if hyps[i].count != hyps[j].count {
-			return hyps[i].count > hyps[j].count
+	// Select the strongest few hypotheses by partial insertion into a
+	// fixed top-k array under the deterministic hypLess order.
+	nTop := 0
+	for _, idx := range sc.touched {
+		count := sc.votes[idx]
+		sc.votes[idx] = 0 // sparse reset for the next call
+		i := int(idx)
+		ty := i%posSpan - posHalf
+		i /= posSpan
+		tx := i%posSpan - posHalf
+		rot := i/posSpan - rotHalf
+		h := hyp{rot: rot, tx: tx, ty: ty, count: count}
+		if nTop == maxHyps && !hypLess(h, sc.top[nTop-1]) {
+			continue
 		}
-		// Deterministic tie-break.
-		a, b := hyps[i].key, hyps[j].key
-		if a.rot != b.rot {
-			return a.rot < b.rot
+		if nTop < maxHyps {
+			nTop++
 		}
-		if a.tx != b.tx {
-			return a.tx < b.tx
+		j := nTop - 1
+		for j > 0 && hypLess(h, sc.top[j-1]) {
+			sc.top[j] = sc.top[j-1]
+			j--
 		}
-		return a.ty < b.ty
-	})
-	if len(hyps) > 6 {
-		hyps = hyps[:6]
+		sc.top[j] = h
 	}
 
+	// Spatial grid over the template for the pairing scans, and the
+	// one-to-one usage marks.
+	sc.buildTemplateGrid(t, cfg.PosTolMM)
+	sc.used = grow(sc.used, len(t.Minutiae))
+
 	best := res
-	for _, h := range hyps {
-		rot := float64(h.key.rot) * cfg.RotBinRad
+	for _, h := range sc.top[:nTop] {
+		rot := float64(h.rot) * cfg.RotBinRad
 		shift := geom.Point{
-			X: float64(h.key.tx) * cfg.PosBinMM,
-			Y: float64(h.key.ty) * cfg.PosBinMM,
+			X: float64(h.tx) * cfg.PosBinMM,
+			Y: float64(h.ty) * cfg.PosBinMM,
 		}
 		// Refine: the Hough bin centre carries up to half a bin of
 		// translation error, which eats most of the pairing tolerance.
 		// Re-centre the shift on the mean residual of the paired
 		// minutiae and re-count (two rounds are enough to converge).
-		matched, residual := cfg.countMatches(t, probe, rot, shift)
+		matched, residual := cfg.countMatches(sc, t, probe, rot, shift)
 		for round := 0; round < 2 && matched > 0; round++ {
 			refined := shift.Add(residual)
-			m2, r2 := cfg.countMatches(t, probe, rot, refined)
+			m2, r2 := cfg.countMatches(sc, t, probe, rot, refined)
 			if m2 < matched {
 				break
 			}
@@ -171,31 +234,155 @@ func (cfg MatcherConfig) Match(t *Template, c *Capture) MatchResult {
 	return best
 }
 
+// houghVote casts one vote per compatible (template, probe) minutia
+// pair: the angle difference proposes a rotation bin, and within it
+// the positions propose a translation bin. Votes land in the dense
+// accumulator with first-touch indices recorded for sparse reset.
+func (cfg MatcherConfig) houghVote(sc *matchScratch, tms, probe []Minutia, rotHalf, posHalf, posSpan int) {
+	for _, tm := range tms {
+		for _, pm := range probe {
+			if !cfg.IgnoreType && tm.Type != pm.Type {
+				continue
+			}
+			dTheta := cfg.angleDelta(tm.Angle, pm.Angle)
+			if math.Abs(dTheta) > cfg.MaxRotRad {
+				continue
+			}
+			rotBin := int(math.Round(dTheta / cfg.RotBinRad))
+			rot := float64(rotBin) * cfg.RotBinRad
+			moved := pm.Pos.Rotate(rot)
+			shift := tm.Pos.Sub(moved)
+			tx := int(math.Round(shift.X / cfg.PosBinMM))
+			ty := int(math.Round(shift.Y / cfg.PosBinMM))
+			idx := int32(((rotBin+rotHalf)*posSpan+(tx+posHalf))*posSpan + (ty + posHalf))
+			if sc.votes[idx] == 0 {
+				sc.touched = append(sc.touched, idx)
+			}
+			sc.votes[idx]++
+		}
+	}
+}
+
+// templateGridCell is the pairing-grid cell size in multiples of the
+// position tolerance: with cells exactly one tolerance wide, every
+// candidate within tolerance of a query sits in the 3x3 neighbourhood
+// of the query's cell.
+func (sc *matchScratch) buildTemplateGrid(t *Template, cellMM float64) {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, m := range t.Minutiae {
+		minX = math.Min(minX, m.Pos.X)
+		minY = math.Min(minY, m.Pos.Y)
+		maxX = math.Max(maxX, m.Pos.X)
+		maxY = math.Max(maxY, m.Pos.Y)
+	}
+	sc.gridMinX, sc.gridMinY, sc.gridCell = minX, minY, cellMM
+	sc.gridCols = int((maxX-minX)/cellMM) + 1
+	sc.gridRows = int((maxY-minY)/cellMM) + 1
+	n := sc.gridCols * sc.gridRows
+	sc.cellCount = grow(sc.cellCount, n)
+	for i := range sc.cellCount {
+		sc.cellCount[i] = 0
+	}
+	for _, m := range t.Minutiae {
+		sc.cellCount[sc.cellOf(m.Pos)]++
+	}
+	sc.cellStart = grow(sc.cellStart, n+1)
+	acc := int32(0)
+	for i := 0; i < n; i++ {
+		sc.cellStart[i] = acc
+		acc += sc.cellCount[i]
+	}
+	sc.cellStart[n] = acc
+	sc.cellItems = grow(sc.cellItems, len(t.Minutiae))
+	for i := range sc.cellCount {
+		sc.cellCount[i] = 0
+	}
+	// Fill in template order so each cell lists minutiae by ascending
+	// index — the tie-break below depends on knowing indices, not
+	// order, so any fill order works; ascending keeps scans cache-tidy.
+	for i, m := range t.Minutiae {
+		c := sc.cellOf(m.Pos)
+		sc.cellItems[sc.cellStart[c]+sc.cellCount[c]] = int32(i)
+		sc.cellCount[c]++
+	}
+}
+
+func (sc *matchScratch) cellOf(p geom.Point) int {
+	cx := int((p.X - sc.gridMinX) / sc.gridCell)
+	cy := int((p.Y - sc.gridMinY) / sc.gridCell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= sc.gridCols {
+		cx = sc.gridCols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= sc.gridRows {
+		cy = sc.gridRows - 1
+	}
+	return cy*sc.gridCols + cx
+}
+
 // countMatches counts a greedy one-to-one pairing between the probe
 // (moved by rot/shift) and the template, and returns the mean pairing
-// residual (template minus moved probe) for transform refinement.
-func (cfg MatcherConfig) countMatches(t *Template, probe []Minutia, rot float64, shift geom.Point) (int, geom.Point) {
-	used := make([]bool, len(t.Minutiae))
+// residual (template minus moved probe) for transform refinement. The
+// template is scanned through the scratch's spatial grid — only the
+// 3x3 cell neighbourhood of each moved probe minutia — instead of the
+// full O(template x probe) inner loop; the tie-break (equal distances
+// resolve to the higher template index) replicates the full scan's
+// "last best wins" behaviour exactly.
+func (cfg MatcherConfig) countMatches(sc *matchScratch, t *Template, probe []Minutia, rot float64, shift geom.Point) (int, geom.Point) {
+	for i := range sc.used[:len(t.Minutiae)] {
+		sc.used[i] = false
+	}
 	matched := 0
 	var residual geom.Point
+	sinR, cosR := math.Sincos(rot)
 	for _, pm := range probe {
-		moved := pm.Transform(rot, shift)
+		// Inline pm.Transform(rot, shift) with the hoisted sincos.
+		moved := Minutia{
+			Pos: geom.Point{
+				X: pm.Pos.X*cosR - pm.Pos.Y*sinR + shift.X,
+				Y: pm.Pos.X*sinR + pm.Pos.Y*cosR + shift.Y,
+			},
+			Angle: geom.WrapAngle(pm.Angle + rot),
+			Type:  pm.Type,
+		}
 		bestIdx, bestDist := -1, cfg.PosTolMM
-		for i, tm := range t.Minutiae {
-			if used[i] || (!cfg.IgnoreType && tm.Type != moved.Type) {
+
+		cx := int((moved.Pos.X - sc.gridMinX) / sc.gridCell)
+		cy := int((moved.Pos.Y - sc.gridMinY) / sc.gridCell)
+		for dy := -1; dy <= 1; dy++ {
+			gy := cy + dy
+			if gy < 0 || gy >= sc.gridRows {
 				continue
 			}
-			if math.Abs(cfg.angleDelta(tm.Angle, moved.Angle)) > cfg.AngleTolRad {
-				continue
-			}
-			d := tm.Pos.Dist(moved.Pos)
-			if d <= bestDist {
-				bestDist, bestIdx = d, i
+			for dx := -1; dx <= 1; dx++ {
+				gx := cx + dx
+				if gx < 0 || gx >= sc.gridCols {
+					continue
+				}
+				cell := gy*sc.gridCols + gx
+				for _, ti := range sc.cellItems[sc.cellStart[cell]:sc.cellStart[cell+1]] {
+					i := int(ti)
+					tm := t.Minutiae[i]
+					if sc.used[i] || (!cfg.IgnoreType && tm.Type != moved.Type) {
+						continue
+					}
+					if math.Abs(cfg.angleDelta(tm.Angle, moved.Angle)) > cfg.AngleTolRad {
+						continue
+					}
+					d := tm.Pos.Dist(moved.Pos)
+					if d < bestDist || (d == bestDist && i > bestIdx) {
+						bestDist, bestIdx = d, i
+					}
+				}
 			}
 		}
 		if bestIdx >= 0 {
 			residual = residual.Add(t.Minutiae[bestIdx].Pos.Sub(moved.Pos))
-			used[bestIdx] = true
+			sc.used[bestIdx] = true
 			matched++
 		}
 	}

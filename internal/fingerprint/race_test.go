@@ -1,0 +1,115 @@
+package fingerprint
+
+import (
+	"sync"
+	"testing"
+
+	"trust/internal/geom"
+	"trust/internal/sim"
+)
+
+// The sweep engine (internal/sim) runs trials on a worker pool, and
+// those trials share Finger values (the Synthesize cache) and the
+// matcher (its scratch pool). These tests exercise exactly the shared
+// paths from many goroutines and assert the results stay identical to
+// a serial run; under -race (part of the tier-1 gate) they also prove
+// the sharing is sound.
+
+// TestRidgeValueConcurrent hits the lazily-built raster from many
+// goroutines. The first RidgeValue call triggers the sync.Once raster
+// build; every caller must then read the same data.
+func TestRidgeValueConcurrent(t *testing.T) {
+	// A seed no other test uses, so the raster build itself races with
+	// the readers rather than being pre-built.
+	f := Synthesize(0xace5, Whorl)
+	probes := make([]geom.Point, 64)
+	for i := range probes {
+		probes[i] = geom.Point{X: 2 + float64(i%8), Y: 2 + float64(i/8)*2}
+	}
+	var wg sync.WaitGroup
+	results := make([][]float64, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := make([]float64, len(probes))
+			for i, p := range probes {
+				vals[i] = f.RidgeValue(p)
+			}
+			results[w] = vals
+		}(w)
+	}
+	wg.Wait()
+	want := results[0]
+	for w, vals := range results {
+		for i := range vals {
+			if vals[i] != want[i] {
+				t.Fatalf("goroutine %d saw RidgeValue %v at probe %d, others saw %v", w, vals[i], i, want[i])
+			}
+		}
+	}
+}
+
+// TestSynthesizeConcurrentSameSeed races the memoization cache: all
+// goroutines ask for the same finger and must get equivalent minutiae.
+func TestSynthesizeConcurrentSameSeed(t *testing.T) {
+	const seed = 0xbeef01
+	var wg sync.WaitGroup
+	out := make([]*Finger, 16)
+	for w := range out {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = Synthesize(seed, Loop)
+		}(w)
+	}
+	wg.Wait()
+	ref := out[0].Minutiae()
+	for w, f := range out {
+		ms := f.Minutiae()
+		if len(ms) != len(ref) {
+			t.Fatalf("goroutine %d: %d minutiae, want %d", w, len(ms), len(ref))
+		}
+		for i := range ms {
+			if ms[i] != ref[i] {
+				t.Fatalf("goroutine %d: minutia %d differs", w, i)
+			}
+		}
+	}
+}
+
+// TestMatchConcurrentIdenticalResults runs the same genuine and
+// impostor matches from many goroutines. The matcher keeps per-call
+// scratch in a sync.Pool; concurrent calls must neither race nor
+// perturb each other's results.
+func TestMatchConcurrentIdenticalResults(t *testing.T) {
+	f := Synthesize(77, Loop)
+	imp := Synthesize(787, Whorl)
+	tpl := NewTemplate(f)
+	m := DefaultMatcher()
+	rng := sim.NewRNG(9)
+	contact := Contact{Center: f.Bounds().Center(), Radius: 4.2, Pressure: 0.7, SpeedMMS: 1}
+	genuine := Acquire(f, contact, rng)
+	impostor := Acquire(imp, contact, rng)
+	wantG := m.Match(tpl, genuine)
+	wantI := m.Match(tpl, impostor)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				if got := m.Match(tpl, genuine); got != wantG {
+					t.Errorf("concurrent genuine match %+v, want %+v", got, wantG)
+					return
+				}
+				if got := m.Match(tpl, impostor); got != wantI {
+					t.Errorf("concurrent impostor match %+v, want %+v", got, wantI)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -16,6 +16,7 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"trust/internal/fingerprint"
@@ -364,10 +365,15 @@ func (m *Module) HandleTouch(ev touch.Event, finger *fingerprint.Finger) TouchOu
 	// needs every ridge the contact left on the sensor, and an 8 mm
 	// patch is already the size of one selective window.
 	fingertipCenter := finger.Bounds().Center().Add(ev.FingerOffsetMM)
+	// The rotation's sincos is hoisted out of the per-cell closure: the
+	// sensor evaluates the field once per cell, and a Sincos per cell
+	// was a measurable slice of the whole-scan cost.
+	sinR, cosR := math.Sincos(-ev.FingerRotation)
 	field := func(p geom.Point) float64 {
 		// Sensor frame -> finger frame: translate so the contact point
 		// maps to the fingertip contact centre, then rotate.
-		rel := p.Sub(sensorMM).Rotate(-ev.FingerRotation)
+		d := p.Sub(sensorMM)
+		rel := geom.Point{X: d.X*cosR - d.Y*sinR, Y: d.X*sinR + d.Y*cosR}
 		return finger.RidgeValue(fingertipCenter.Add(rel))
 	}
 	region := arr.RegionAround(sensorMM, ev.RadiusMM)

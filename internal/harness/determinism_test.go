@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+
+	"trust/internal/sim"
+)
+
+// TestSweptExperimentsWorkerCountInvariant is the determinism contract
+// of the sweep engine (docs/sweep-engine.md) applied end to end: every
+// experiment that fans its trials out through sim.ParMap must produce
+// a byte-identical artifact and identical metrics whether it runs on
+// one worker or many.
+func TestSweptExperimentsWorkerCountInvariant(t *testing.T) {
+	// Force a genuinely concurrent pool even on single-core CI
+	// machines, where GOMAXPROCS would collapse the parallel run back
+	// to one worker and the test would assert nothing.
+	workers := max(runtime.GOMAXPROCS(0), 8)
+	exps := []struct {
+		name string
+		fn   func(uint64) (Result, error)
+	}{
+		{"XWindow", XWindow},
+		{"XNoise", XNoise},
+		{"XEnergy", XEnergy},
+		{"XImagePipeline", XImagePipeline},
+		{"XAttacks", XAttacks},
+		{"XFuzzyVault", XFuzzyVault},
+		{"Fig6", Fig6},
+	}
+	for _, e := range exps {
+		t.Run(e.name, func(t *testing.T) {
+			prev := sim.SetMaxWorkers(1)
+			defer sim.SetMaxWorkers(prev)
+			serial, err := e.fn(Seed)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			sim.SetMaxWorkers(workers)
+			parallel, err := e.fn(Seed)
+			if err != nil {
+				t.Fatalf("parallel run (%d workers): %v", workers, err)
+			}
+			if serial.Text != parallel.Text {
+				t.Errorf("artifact text differs between 1 and %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					workers, serial.Text, parallel.Text)
+			}
+			if len(serial.Metrics) != len(parallel.Metrics) {
+				t.Fatalf("metric count differs: %d vs %d", len(serial.Metrics), len(parallel.Metrics))
+			}
+			for k, v := range serial.Metrics {
+				pv, ok := parallel.Metrics[k]
+				if !ok {
+					t.Errorf("metric %q missing from parallel run", k)
+					continue
+				}
+				if v != pv {
+					t.Errorf("metric %q: serial %v, parallel %v", k, v, pv)
+				}
+			}
+		})
+	}
+}

@@ -68,49 +68,73 @@ func XWindow(seed uint64) (Result, error) {
 		{core.LocalPolicy{Window: 20, MinVerified: 2, MaxMismatches: 4, Grace: 20}, "lenient (2-of-20, lock@4)"},
 	}
 	const trials = 10
+	// Every (policy, trial) pair is independent — each builds its rigs
+	// from trialSeed alone — so the 3x10 grid runs through the sweep
+	// engine. Seeds are unchanged from the serial version, so the
+	// artifact is byte-identical at any worker count.
+	type windowTrial struct {
+		detected     bool
+		detTouches   float64
+		locks, halts int
+	}
+	trialResults, err := sim.ParMap(len(points)*trials, func(idx int) (windowTrial, error) {
+		pi, trial := idx/trials, idx%trials
+		pp := points[pi]
+		trialSeed := seed + uint64(pi*100+trial)
+		// Theft run: impostor takes over at touch 60.
+		ld, w, err := localDeviceRig(trialSeed, pp.policy)
+		if err != nil {
+			return windowTrial{}, err
+		}
+		u := w.Users["user1-right-thumb"]
+		impostor := fingerprint.Synthesize(trialSeed+9999, fingerprint.Whorl)
+		s, err := touch.GenerateSession(u.Model, w.Screen, 160, sim.NewRNG(trialSeed^0x11))
+		if err != nil {
+			return windowTrial{}, err
+		}
+		rep, err := core.RunLocalSession(ld, s, u.Finger, impostor, 60)
+		if err != nil {
+			return windowTrial{}, err
+		}
+		out := windowTrial{}
+		if rep.DetectionTouches >= 0 {
+			out.detected = true
+			out.detTouches = float64(rep.DetectionTouches)
+		}
+		// Owner-only run: false responses.
+		ld2, w2, err := localDeviceRig(trialSeed+50, pp.policy)
+		if err != nil {
+			return windowTrial{}, err
+		}
+		u2 := w2.Users["user1-right-thumb"]
+		s2, err := touch.GenerateSession(u2.Model, w2.Screen, 160, sim.NewRNG(trialSeed^0x22))
+		if err != nil {
+			return windowTrial{}, err
+		}
+		rep2, err := core.RunLocalSession(ld2, s2, u2.Finger, nil, -1)
+		if err != nil {
+			return windowTrial{}, err
+		}
+		out.locks = rep2.LockEvents
+		out.halts = rep2.HaltEvents
+		return out, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
 	var rows [][]string
 	metrics := map[string]float64{}
 	for pi, pp := range points {
 		var detSum float64
 		detected, ownerLocks, ownerHalts := 0, 0, 0
 		for trial := 0; trial < trials; trial++ {
-			trialSeed := seed + uint64(pi*100+trial)
-			// Theft run: impostor takes over at touch 60.
-			ld, w, err := localDeviceRig(trialSeed, pp.policy)
-			if err != nil {
-				return Result{}, err
-			}
-			u := w.Users["user1-right-thumb"]
-			impostor := fingerprint.Synthesize(trialSeed+9999, fingerprint.Whorl)
-			s, err := touch.GenerateSession(u.Model, w.Screen, 160, sim.NewRNG(trialSeed^0x11))
-			if err != nil {
-				return Result{}, err
-			}
-			rep, err := core.RunLocalSession(ld, s, u.Finger, impostor, 60)
-			if err != nil {
-				return Result{}, err
-			}
-			if rep.DetectionTouches >= 0 {
+			tr := trialResults[pi*trials+trial]
+			if tr.detected {
 				detected++
-				detSum += float64(rep.DetectionTouches)
+				detSum += tr.detTouches
 			}
-			// Owner-only run: false responses.
-			ld2, w2, err := localDeviceRig(trialSeed+50, pp.policy)
-			if err != nil {
-				return Result{}, err
-			}
-			u2 := w2.Users["user1-right-thumb"]
-			s2, err := touch.GenerateSession(u2.Model, w2.Screen, 160, sim.NewRNG(trialSeed^0x22))
-			if err != nil {
-				return Result{}, err
-			}
-			rep2, err := core.RunLocalSession(ld2, s2, u2.Finger, nil, -1)
-			if err != nil {
-				return Result{}, err
-			}
-			ownerLocks += rep2.LockEvents
-			ownerHalts += rep2.HaltEvents
-			_ = rep2
+			ownerLocks += tr.locks
+			ownerHalts += tr.halts
 		}
 		meanDet := "-"
 		if detected > 0 {
@@ -169,29 +193,58 @@ func XAttacks(seed uint64) (Result, error) {
 
 // XEnergy compares opportunistic capture against always-on sensing
 // over one hour of natural use (Sec III-A power claim).
+//
+// The hour is sharded into independent session segments, each played
+// through its own rig with a per-shard derived RNG, and the energy
+// meters are summed. Sensor energy is charged per touch and the
+// always-on baseline is proportional to wall time, so the aggregate
+// ratio measures the same duty-cycle saving as one long session while
+// the shards run concurrently on the sweep engine.
 func XEnergy(seed uint64) (Result, error) {
-	ld, w, err := localDeviceRig(seed, core.DefaultLocalPolicy())
+	const shards = 5
+	const touchesPerShard = 500 // ~2,500 touches is one hour of use
+	type energyShard struct {
+		opp, alwaysOn sim.Joule
+		touches       int
+		dur           time.Duration
+	}
+	parts, err := sim.ParMap(shards, func(si int) (energyShard, error) {
+		ld, w, err := localDeviceRig(seed, core.DefaultLocalPolicy())
+		if err != nil {
+			return energyShard{}, err
+		}
+		u := w.Users["user1-right-thumb"]
+		s, err := touch.GenerateSession(u.Model, w.Screen, touchesPerShard, sim.TrialRNG(seed^0xe, si))
+		if err != nil {
+			return energyShard{}, err
+		}
+		if _, err := core.RunLocalSession(ld, s, u.Finger, nil, -1); err != nil {
+			return energyShard{}, err
+		}
+		mod := ld.Module
+		return energyShard{
+			opp:      mod.Energy().Component("fingerprint-sensor"),
+			alwaysOn: mod.IdleSensorEnergy(s.Duration()),
+			touches:  mod.Stats().Touches,
+			dur:      s.Duration(),
+		}, nil
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	u := w.Users["user1-right-thumb"]
-	// One hour of use at the model's think time is ~2,500 touches.
-	s, err := touch.GenerateSession(u.Model, w.Screen, 2500, sim.NewRNG(seed^0xe))
-	if err != nil {
-		return Result{}, err
+	var total energyShard
+	for _, p := range parts {
+		total.opp += p.opp
+		total.alwaysOn += p.alwaysOn
+		total.touches += p.touches
+		total.dur += p.dur
 	}
-	if _, err := core.RunLocalSession(ld, s, u.Finger, nil, -1); err != nil {
-		return Result{}, err
-	}
-	mod := ld.Module
-	opp := mod.Energy().Component("fingerprint-sensor")
-	alwaysOn := mod.IdleSensorEnergy(s.Duration())
-	ratio := float64(alwaysOn) / float64(opp)
+	ratio := float64(total.alwaysOn) / float64(total.opp)
 	rows := [][]string{
-		{"session length", s.Duration().Round(time.Second).String()},
-		{"touches", fmt.Sprintf("%d", mod.Stats().Touches)},
-		{"opportunistic sensor energy", opp.String()},
-		{"always-on sensor energy", alwaysOn.String()},
+		{"session length", total.dur.Round(time.Second).String()},
+		{"touches", fmt.Sprintf("%d", total.touches)},
+		{"opportunistic sensor energy", total.opp.String()},
+		{"always-on sensor energy", total.alwaysOn.String()},
 		{"saving", fmt.Sprintf("%.0fx", ratio)},
 	}
 	text := fmtTable([]string{"metric", "value"}, rows)

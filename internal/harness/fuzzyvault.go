@@ -16,17 +16,23 @@ import (
 // areas of fingers vary each time the user touches", making accuracy
 // "even lower").
 func XFuzzyVault(seed uint64) (Result, error) {
-	rng := sim.NewRNG(seed ^ 0xfa)
 	params := fuzzyvault.DefaultParams()
 	matcher := fingerprint.DefaultMatcher()
 	const fingers = 12
 	const probesPer = 4
 
-	var vaultFull, vaultPartial, vaultUnaligned, vaultImpostor int
-	var matcherPartial, matcherImpostor int
-	var nFull, nPartial, nUnaligned, nImpostorV, nMatcherP, nMatcherI int
-
-	for i := 0; i < fingers; i++ {
+	// One sweep unit per finger; each unit derives its RNG stream from
+	// its finger index (the serial version threaded one RNG through all
+	// twelve), so units are independent and run concurrently.
+	type vaultUnit struct {
+		vaultFull, vaultPartial, vaultUnaligned, vaultImpostor int
+		matcherPartial, matcherImpostor                        int
+		nFull, nPartial, nUnaligned, nImpostorV                int
+		nMatcherP, nMatcherI                                   int
+	}
+	units, err := sim.ParMap(fingers, func(i int) (vaultUnit, error) {
+		var u vaultUnit
+		rng := sim.TrialRNG(seed^0xfa, i)
 		f := fingerprint.Synthesize(seed+uint64(i)*7+1, fingerprint.PatternType(i%3))
 		impostor := fingerprint.Synthesize(seed+uint64(i)*7+5000, fingerprint.PatternType((i+1)%3))
 		tpl := fingerprint.NewTemplate(f)
@@ -36,20 +42,20 @@ func XFuzzyVault(seed uint64) (Result, error) {
 		}
 		vault, err := fuzzyvault.Lock(tpl, secret, params, rng)
 		if err != nil {
-			return Result{}, err
+			return vaultUnit{}, err
 		}
 
 		for p := 0; p < probesPer; p++ {
 			// Full aligned print (the published scenario).
-			nFull++
+			u.nFull++
 			if _, ok := vault.Unlock(noisyMinutiae(f, rng, geom.Point{}, 0), params, rng); ok {
-				vaultFull++
+				u.vaultFull++
 			}
 			// Partial print at a realistic touch centre, oracle-aligned.
 			center := jitteredCenter(f, rng)
-			nPartial++
+			u.nPartial++
 			if _, ok := vault.Unlock(noisyMinutiae(f, rng, center, 4.2), params, rng); ok {
-				vaultPartial++
+				u.vaultPartial++
 			}
 			// Realistic opportunistic capture: unknown rotation and
 			// translation (capture frame).
@@ -59,30 +65,51 @@ func XFuzzyVault(seed uint64) (Result, error) {
 				Rotation: rng.Normal(0, 0.25),
 			}
 			cap := fingerprint.Acquire(f, contact, rng)
-			nUnaligned++
+			u.nUnaligned++
 			if _, ok := vault.Unlock(cap.Minutiae, params, rng); ok {
-				vaultUnaligned++
+				u.vaultUnaligned++
 			}
 			// The TRUST matcher on that same unaligned capture.
 			if cap.Quality.OK() {
-				nMatcherP++
+				u.nMatcherP++
 				if matcher.Match(tpl, cap).Accepted {
-					matcherPartial++
+					u.matcherPartial++
 				}
 			}
 			// Impostor, both schemes.
-			nImpostorV++
+			u.nImpostorV++
 			if _, ok := vault.Unlock(noisyMinutiae(impostor, rng, geom.Point{}, 0), params, rng); ok {
-				vaultImpostor++
+				u.vaultImpostor++
 			}
 			icap := fingerprint.Acquire(impostor, contact, rng)
 			if icap.Quality.OK() {
-				nMatcherI++
+				u.nMatcherI++
 				if matcher.Match(tpl, icap).Accepted {
-					matcherImpostor++
+					u.matcherImpostor++
 				}
 			}
 		}
+		return u, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var vaultFull, vaultPartial, vaultUnaligned, vaultImpostor int
+	var matcherPartial, matcherImpostor int
+	var nFull, nPartial, nUnaligned, nImpostorV, nMatcherP, nMatcherI int
+	for _, u := range units {
+		vaultFull += u.vaultFull
+		vaultPartial += u.vaultPartial
+		vaultUnaligned += u.vaultUnaligned
+		vaultImpostor += u.vaultImpostor
+		matcherPartial += u.matcherPartial
+		matcherImpostor += u.matcherImpostor
+		nFull += u.nFull
+		nPartial += u.nPartial
+		nUnaligned += u.nUnaligned
+		nImpostorV += u.nImpostorV
+		nMatcherP += u.nMatcherP
+		nMatcherI += u.nMatcherI
 	}
 
 	pct := func(n, d int) string {

@@ -18,7 +18,6 @@ import (
 // is what licenses the statistical shortcut everywhere else (DESIGN.md
 // §2).
 func XImagePipeline(seed uint64) (Result, error) {
-	rng := sim.NewRNG(seed ^ 0x1ba6e)
 	statMatcher := fingerprint.DefaultMatcher()
 	imgMatcher := extract.Matcher()
 	opts := extract.DefaultOptions()
@@ -26,36 +25,42 @@ func XImagePipeline(seed uint64) (Result, error) {
 
 	const fingers = 6
 	const probesPer = 5
-	var imgGenuine, imgImpostor, statGenuine, statImpostor int
-	var nImg, nStat int
-	var recallSum, stabilitySum float64
-
-	for i := 0; i < fingers; i++ {
+	// One sweep unit per finger, each with its own derived RNG stream
+	// (sim.TrialRNG) so the six units are order-independent and run
+	// concurrently; the totals below are summed in finger order.
+	type pipeUnit struct {
+		imgGenuine, imgImpostor, statGenuine, statImpostor int
+		nImg, nStat                                        int
+		recall, stability                                  float64
+	}
+	units, err := sim.ParMap(fingers, func(i int) (pipeUnit, error) {
+		var u pipeUnit
+		rng := sim.TrialRNG(seed^0x1ba6e, i)
 		f := fingerprint.Synthesize(seed+uint64(i)+40, fingerprint.PatternType(i%3))
 		g := fingerprint.Synthesize(seed+uint64(i)+4040, fingerprint.PatternType((i+1)%3))
 
 		// Image pipeline: enrolment template from a full scan.
-		enrollArr, err := sensor.New(enrollCfg, rng.Fork(uint64(i)))
+		enrollArr, err := sensor.New(enrollCfg, rng.Fork(1))
 		if err != nil {
-			return Result{}, err
+			return pipeUnit{}, err
 		}
 		scan := enrollArr.Scan(func(p geom.Point) float64 { return f.RidgeValue(p) },
 			enrollArr.FullRegion(), sensor.ScanOptions{})
 		imgTemplate := &fingerprint.Template{Minutiae: extract.Minutiae(scan.Bits, 0.05, opts)}
-		recallSum += extract.Evaluate(imgTemplate.Minutiae, f.Minutiae(), 0.7).Recall
+		u.recall = extract.Evaluate(imgTemplate.Minutiae, f.Minutiae(), 0.7).Recall
 
 		// Cross-scan stability for the report.
 		scan2 := enrollArr.Scan(func(p geom.Point) float64 { return f.RidgeValue(p) },
 			enrollArr.FullRegion(), sensor.ScanOptions{})
 		ms2 := extract.Minutiae(scan2.Bits, 0.05, opts)
-		stabilitySum += extract.Evaluate(ms2, imgTemplate.Minutiae, 0.7).Recall
+		u.stability = extract.Evaluate(ms2, imgTemplate.Minutiae, 0.7).Recall
 
 		// Statistical pipeline: ground-truth template.
 		statTemplate := fingerprint.NewTemplate(f)
 
-		probeArr, err := sensor.New(sensor.FLockConfig(), rng.Fork(uint64(1000+i)))
+		probeArr, err := sensor.New(sensor.FLockConfig(), rng.Fork(2))
 		if err != nil {
-			return Result{}, err
+			return pipeUnit{}, err
 		}
 		for p := 0; p < probesPer; p++ {
 			// A window somewhere on the fingertip, identical placement
@@ -68,16 +73,16 @@ func XImagePipeline(seed uint64) (Result, error) {
 			res := probeArr.Scan(func(q geom.Point) float64 { return f.RidgeValue(q.Add(off)) },
 				probeArr.FullRegion(), sensor.ScanOptions{})
 			probe := extract.Minutiae(res.Bits, 0.05, opts)
-			nImg++
+			u.nImg++
 			if imgMatcher.Match(imgTemplate, &fingerprint.Capture{Minutiae: probe}).Accepted {
-				imgGenuine++
+				u.imgGenuine++
 			}
 			// Image probe (impostor finger, same window placement).
 			ires := probeArr.Scan(func(q geom.Point) float64 { return g.RidgeValue(q.Add(off)) },
 				probeArr.FullRegion(), sensor.ScanOptions{})
 			iprobe := extract.Minutiae(ires.Bits, 0.05, opts)
 			if imgMatcher.Match(imgTemplate, &fingerprint.Capture{Minutiae: iprobe}).Accepted {
-				imgImpostor++
+				u.imgImpostor++
 			}
 
 			// Statistical probes with the equivalent contact.
@@ -87,16 +92,33 @@ func XImagePipeline(seed uint64) (Result, error) {
 			}
 			gc := fingerprint.Acquire(f, contact, rng)
 			if gc.Quality.OK() {
-				nStat++
+				u.nStat++
 				if statMatcher.Match(statTemplate, gc).Accepted {
-					statGenuine++
+					u.statGenuine++
 				}
 			}
 			ic := fingerprint.Acquire(g, contact, rng)
 			if ic.Quality.OK() && statMatcher.Match(statTemplate, ic).Accepted {
-				statImpostor++
+				u.statImpostor++
 			}
 		}
+		return u, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var imgGenuine, imgImpostor, statGenuine, statImpostor int
+	var nImg, nStat int
+	var recallSum, stabilitySum float64
+	for _, u := range units {
+		imgGenuine += u.imgGenuine
+		imgImpostor += u.imgImpostor
+		statGenuine += u.statGenuine
+		statImpostor += u.statImpostor
+		nImg += u.nImg
+		nStat += u.nStat
+		recallSum += u.recall
+		stabilitySum += u.stability
 	}
 
 	pct := func(n, d int) string { return fmt.Sprintf("%.0f%% (%d/%d)", 100*float64(n)/float64(d), n, d) }

@@ -131,17 +131,31 @@ func Optimize(density *touch.DensityGrid, opts Options) (Placement, error) {
 		}
 	}
 
-	gain := func(r geom.Rect) float64 {
+	// Precompute the cell centres once, and for each candidate the list
+	// of cells whose centre it contains. The greedy loop then scores a
+	// candidate by scanning its own cell list instead of re-deriving
+	// every cell rectangle per candidate per step — the same Contains
+	// decisions, made exactly once.
+	centers := make([]geom.Point, cols*rows)
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx < cols; cx++ {
+			centers[cy*cols+cx] = density.CellRect(cx, cy).Center()
+		}
+	}
+	cells := make([][]int32, len(candidates))
+	for i, c := range candidates {
+		for j, ctr := range centers {
+			if c.Contains(ctr) {
+				cells[i] = append(cells[i], int32(j))
+			}
+		}
+	}
+
+	gain := func(ci int) float64 {
 		g := 0.0
-		for cy := 0; cy < rows; cy++ {
-			for cx := 0; cx < cols; cx++ {
-				i := cy*cols + cx
-				if covered[i] || cellMass[i] == 0 {
-					continue
-				}
-				if r.Contains(density.CellRect(cx, cy).Center()) {
-					g += cellMass[i]
-				}
+		for _, j := range cells[ci] {
+			if !covered[j] {
+				g += cellMass[j]
 			}
 		}
 		return g / total
@@ -151,22 +165,17 @@ func Optimize(density *touch.DensityGrid, opts Options) (Placement, error) {
 	coveredMass := 0.0
 	for len(out.Sensors) < opts.MaxSensors {
 		bestGain, bestIdx := 0.0, -1
-		for i, c := range candidates {
-			if g := gain(c); g > bestGain {
+		for i := range candidates {
+			if g := gain(i); g > bestGain {
 				bestGain, bestIdx = g, i
 			}
 		}
 		if bestIdx < 0 || bestGain < opts.MinGain {
 			break
 		}
-		chosen := candidates[bestIdx]
-		out.Sensors = append(out.Sensors, chosen)
-		for cy := 0; cy < rows; cy++ {
-			for cx := 0; cx < cols; cx++ {
-				if chosen.Contains(density.CellRect(cx, cy).Center()) {
-					covered[cy*cols+cx] = true
-				}
-			}
+		out.Sensors = append(out.Sensors, candidates[bestIdx])
+		for _, j := range cells[bestIdx] {
+			covered[j] = true
 		}
 		coveredMass += bestGain
 	}

@@ -1,0 +1,64 @@
+package webserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"trust/internal/protocol"
+)
+
+// TestHTTPHandlerConcurrentRequests hammers the handler from many
+// goroutines at once. net/http serves each request on its own
+// goroutine, so this is the access pattern the handler's mutex exists
+// for; run under -race (part of the tier-1 gate) it proves the
+// serialization actually covers every route that touches server state.
+func TestHTTPHandlerConcurrentRequests(t *testing.T) {
+	_, ts := httpRig(t)
+	const goroutines = 8
+	const rounds = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < rounds; i++ {
+				now := g*1000 + i
+				resp, err := client.Get(fmt.Sprintf("%s/trust/register?now=%d", ts.URL, now))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var page protocol.RegistrationPage
+				err = json.NewDecoder(resp.Body).Decode(&page)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if page.Nonce == "" {
+					errs <- fmt.Errorf("goroutine %d: empty nonce", g)
+					return
+				}
+				if resp, err = client.Get(ts.URL + "/trust/cert"); err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp, err = client.Get(ts.URL + "/trust/audit"); err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
