@@ -9,6 +9,7 @@ package trust
 import (
 	"testing"
 
+	"trust/internal/analysis"
 	"trust/internal/harness"
 )
 
@@ -167,4 +168,19 @@ func BenchmarkNoise(b *testing.B) {
 // comparison (X13).
 func BenchmarkPersonalization(b *testing.B) {
 	benchArtifact(b, func() (harness.Result, error) { return harness.XPersonalization(harness.Seed) })
+}
+
+// BenchmarkTrustlint measures the wall time of the full static-analysis
+// sweep (cmd/trustlint over every package in the module), so analyzer
+// cost is tracked in BENCH_harness.json like the artifact generators.
+func BenchmarkTrustlint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		findings, err := analysis.Lint(".", "./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) > 0 {
+			b.Fatalf("tree has %d trustlint finding(s); run go run ./cmd/trustlint ./...", len(findings))
+		}
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"trust/internal/analysis"
 	"trust/internal/harness"
 )
 
@@ -187,6 +188,29 @@ func writeBenchJSON(path string, seed uint64) error {
 		report[g.name] = benchEntry{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
 		fmt.Fprintf(os.Stderr, "%-16s %12d ns/op %12d allocs/op\n", g.name, res.NsPerOp(), res.AllocsPerOp())
 	}
+	// The static-analysis sweep runs on every verify, so its cost is
+	// tracked alongside the artifact generators (BenchmarkTrustlint in
+	// bench_test.go mirrors this entry).
+	var lintErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			findings, err := analysis.Lint(".", "./...")
+			if err != nil {
+				lintErr = err
+				b.FailNow()
+			}
+			if len(findings) > 0 {
+				lintErr = fmt.Errorf("tree has %d trustlint finding(s)", len(findings))
+				b.FailNow()
+			}
+		}
+	})
+	if lintErr != nil {
+		return fmt.Errorf("Trustlint: %w", lintErr)
+	}
+	report["Trustlint"] = benchEntry{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
+	fmt.Fprintf(os.Stderr, "%-16s %12d ns/op %12d allocs/op\n", "Trustlint", res.NsPerOp(), res.AllocsPerOp())
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

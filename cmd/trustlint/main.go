@@ -1,0 +1,68 @@
+// Command trustlint runs the repository's contract analyzers over Go
+// packages and exits non-zero on any finding. It machine-checks what
+// the compiler cannot: the single-seed determinism contract
+// (docs/sweep-engine.md) and the constant-time comparison discipline of
+// the protocol layer. See docs/static-analysis.md for the rules and the
+// //trustlint:allow suppression directive.
+//
+// Usage:
+//
+//	trustlint [packages]     # default ./...
+//	trustlint -list          # print the rules and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trust/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: trustlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trustlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Lint(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trustlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(rel(wd, f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "trustlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// rel shortens absolute file paths to be relative to the working
+// directory, keeping diagnostics clickable and diff-friendly.
+func rel(wd string, f analysis.Finding) string {
+	s := f.String()
+	if len(s) > len(wd)+1 && s[:len(wd)] == wd && s[len(wd)] == '/' {
+		return s[len(wd)+1:]
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// CTCompare guards the paper's protocol security claims (Fig 8-10): MAC
+// tags, keys, and other secret-adjacent byte strings must be compared
+// in constant time (hmac.Equal / subtle.ConstantTimeCompare), because a
+// short-circuiting bytes.Equal or == leaks the matching prefix length
+// through timing — the classic MAC-forgery oracle. The rule covers the
+// packages that handle such material and flags equality operators whose
+// operands look like that material by identifier or type name.
+var CTCompare = &Analyzer{
+	Name: "ctcompare",
+	Doc:  "require hmac.Equal/subtle.ConstantTimeCompare on MAC/tag/digest/secret/key comparisons in crypto-bearing packages",
+	Run:  runCTCompare,
+}
+
+// ctComparePackages are the import-path prefixes the rule applies to:
+// the crypto-bearing layers of the system, plus the rule's own test
+// fixtures (testdata is invisible to go list, so the entries are inert
+// in production runs).
+var ctComparePackages = []string{
+	"trust/internal/pki",
+	"trust/internal/protocol",
+	"trust/internal/flock",
+	"trust/internal/webserver",
+	"trust/internal/analysis/testdata/src/ctcompare",
+	"trust/internal/analysis/testdata/src/suppress",
+}
+
+// sensitiveWords match identifier or type-name components that denote
+// comparison-sensitive material.
+var sensitiveWords = map[string]bool{
+	"mac":      true,
+	"hmac":     true,
+	"tag":      true,
+	"digest":   true,
+	"secret":   true,
+	"key":      true,
+	"keys":     true,
+	"password": true,
+	"passwd":   true,
+	"token":    true,
+	"nonce":    true,
+}
+
+func runCTCompare(pass *Pass) {
+	path := pass.Pkg().Path()
+	inScope := false
+	for _, p := range ctComparePackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		if pass.InTestFile(f.Package) {
+			continue // test assertions may compare however they like
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNilOrEmptyLit(n.X) || isNilOrEmptyLit(n.Y) {
+					return true // presence checks, not content comparison
+				}
+				if !comparableSensitiveType(info.TypeOf(n.X)) {
+					return true
+				}
+				if name, ok := sensitiveOperand(info, n.X); ok {
+					pass.Reportf(n.OpPos, "non-constant-time %s on %s: use subtle.ConstantTimeCompare/hmac.Equal (timing leaks the matching prefix)", n.Op, name)
+				} else if name, ok := sensitiveOperand(info, n.Y); ok {
+					pass.Reportf(n.OpPos, "non-constant-time %s on %s: use subtle.ConstantTimeCompare/hmac.Equal (timing leaks the matching prefix)", n.Op, name)
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				full := fn.Pkg().Path() + "." + fn.Name()
+				if full != "bytes.Equal" && full != "reflect.DeepEqual" {
+					return true
+				}
+				for _, arg := range n.Args {
+					if name, ok := sensitiveOperand(info, arg); ok {
+						pass.Reportf(n.Pos(), "%s on %s: use hmac.Equal/subtle.ConstantTimeCompare (timing leaks the matching prefix)", full, name)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sensitiveOperand reports whether the expression names secret-adjacent
+// material, looking at every identifier in a selector chain and at the
+// named type of the value.
+func sensitiveOperand(info *types.Info, e ast.Expr) (string, bool) {
+	for x := e; ; {
+		switch s := x.(type) {
+		case *ast.Ident:
+			if hasSensitiveWord(s.Name) {
+				return s.Name, true
+			}
+		case *ast.SelectorExpr:
+			if hasSensitiveWord(s.Sel.Name) {
+				return s.Sel.Name, true
+			}
+			x = s.X
+			continue
+		case *ast.ParenExpr:
+			x = s.X
+			continue
+		case *ast.CallExpr:
+			// A call like m.MACBytes() carries its nature in the callee
+			// name.
+			x = s.Fun
+			continue
+		}
+		break
+	}
+	if named, ok := info.TypeOf(e).(*types.Named); ok && hasSensitiveWord(named.Obj().Name()) {
+		return named.Obj().Name(), true
+	}
+	return "", false
+}
+
+// hasSensitiveWord splits an identifier into words (camelCase and
+// snake_case) and checks each against the sensitive vocabulary, so
+// "deviceKeys" and "RecoveryPassword" match while "keystroke" and
+// "Package" do not.
+func hasSensitiveWord(ident string) bool {
+	for _, w := range splitWords(ident) {
+		if sensitiveWords[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// splitWords lowercases and splits an identifier at underscores and
+// lower-to-upper case transitions.
+func splitWords(ident string) []string {
+	var words []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			words = append(words, strings.ToLower(string(cur)))
+			cur = cur[:0]
+		}
+	}
+	var prev rune
+	for _, r := range ident {
+		switch {
+		case r == '_':
+			flush()
+		case unicode.IsUpper(r) && unicode.IsLower(prev):
+			flush()
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+		prev = r
+	}
+	flush()
+	return words
+}
+
+// comparableSensitiveType limits == / != reports to value kinds where a
+// short-circuit compare leaks timing: strings, byte arrays, and structs
+// (key pairs). Numeric, boolean, and pointer equality is single-cycle.
+func comparableSensitiveType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Array, *types.Struct:
+		return true
+	}
+	return false
+}
+
+// isNilOrEmptyLit matches nil and "" — the operands of presence checks.
+func isNilOrEmptyLit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.BasicLit:
+		return e.Kind == token.STRING && (e.Value == `""` || e.Value == "``")
+	}
+	return false
+}

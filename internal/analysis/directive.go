@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// trustlint suppressions are written as comment directives:
+//
+//	//trustlint:allow <rule>[,<rule>...] [-- justification]
+//
+// A directive placed before (or on) the package clause allowlists the
+// named rules for the whole file — the escape hatch for e.g. _test.go
+// timing helpers that legitimately touch the wall clock. Anywhere else
+// it suppresses findings on its own line and on the line directly
+// below, so the idiomatic form is a justification comment ending in the
+// directive, right above the flagged statement.
+//
+// A bare `//trustlint:allow` (no rule name) or one naming an unknown
+// rule is itself a diagnostic: silent, unscoped suppressions are how
+// contracts rot.
+
+const directivePrefix = "//trustlint:allow"
+
+// directiveRule is the pseudo-rule under which malformed directives are
+// reported. It is not a registered analyzer, so it cannot be
+// suppressed.
+const directiveRule = "directive"
+
+// directive is one parsed //trustlint:allow comment.
+type directive struct {
+	rules    []string
+	line     int
+	fileWide bool
+}
+
+// parseDirectives extracts the directives of one file and reports
+// malformed ones as findings.
+func parseDirectives(fset *token.FileSet, file *ast.File, findings *[]Finding) []directive {
+	known := make(map[string]bool)
+	for _, name := range RuleNames() {
+		known[name] = true
+	}
+	pkgLine := fset.Position(file.Package).Line
+	var out []directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //trustlint:allowed — not our directive
+			}
+			pos := fset.Position(c.Pos())
+			if i := strings.Index(rest, "--"); i >= 0 {
+				rest = rest[:i]
+			}
+			var rules []string
+			for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' }) {
+				rules = append(rules, f)
+			}
+			if len(rules) == 0 {
+				*findings = append(*findings, Finding{
+					Pos:  pos,
+					Rule: directiveRule,
+					Msg:  "bare //trustlint:allow: name the rule(s) being suppressed",
+				})
+				continue
+			}
+			bad := false
+			for _, r := range rules {
+				if !known[r] {
+					*findings = append(*findings, Finding{
+						Pos:  pos,
+						Rule: directiveRule,
+						Msg:  fmt.Sprintf("unknown rule %q in //trustlint:allow (valid: %s)", r, strings.Join(RuleNames(), ", ")),
+					})
+					bad = true
+				}
+			}
+			if bad {
+				continue
+			}
+			out = append(out, directive{
+				rules:    rules,
+				line:     pos.Line,
+				fileWide: pos.Line <= pkgLine,
+			})
+		}
+	}
+	return out
+}
+
+// applyDirectives parses every unit's suppression directives, drops
+// findings they cover, and appends diagnostics for malformed ones.
+func applyDirectives(units []*Unit, findings []Finding) []Finding {
+	type fileKey = string
+	byFile := make(map[fileKey][]directive)
+	var out []Finding
+	for _, u := range units {
+		for _, f := range u.Files {
+			name := u.Fset.Position(f.Package).Filename
+			if _, done := byFile[name]; done {
+				continue // base and xtest units never share files, but be safe
+			}
+			byFile[name] = parseDirectives(u.Fset, f, &out)
+		}
+	}
+	for _, f := range findings {
+		if !suppressed(f, byFile[f.Pos.Filename]) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a directive in f's file covers it.
+func suppressed(f Finding, dirs []directive) bool {
+	for _, d := range dirs {
+		covers := d.fileWide || d.line == f.Pos.Line || d.line == f.Pos.Line-1
+		if !covers {
+			continue
+		}
+		for _, r := range d.rules {
+			if r == f.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether filename is a Go test file.
+func isTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder catches the artifact-instability bug class: Go randomizes
+// map iteration order per run, so a `range` over a map that appends to
+// a slice, writes into an io.Writer/strings.Builder, or accumulates a
+// float (addition over floats is not associative) produces output that
+// differs run-to-run — exactly what broke EnergyMeter.Total before this
+// rule existed. Collect-then-sort is the sanctioned shape: an appended
+// slice that is subsequently sorted in the same function is not
+// flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-dependent work (append/write/float-accumulate) inside range-over-map unless the result is sorted afterwards",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		// Collect function bodies so each range statement can be checked
+		// against its innermost enclosing function for a later sort.
+		var bodies []*ast.BlockStmt
+		walkFuncBodies(f, func(b *ast.BlockStmt) { bodies = append(bodies, b) })
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng, innermost(bodies, rng.Pos()))
+			return true
+		})
+	}
+}
+
+// innermost returns the smallest body containing pos (nil at file
+// scope, which cannot happen for statements).
+func innermost(bodies []*ast.BlockStmt, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= pos && pos < b.End() {
+			if best == nil || b.End()-b.Pos() < best.End()-best.Pos() {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	info := pass.Info()
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, fnBody, n)
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, info, n)
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags order-dependent accumulation statements.
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt, n *ast.AssignStmt) {
+	info := pass.Info()
+	for i, lhs := range n.Lhs {
+		// Indexed writes m2[k] = v land each ranged key in its own slot,
+		// which is order-independent; only scalar/slice targets carry
+		// order.
+		switch lhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			continue
+		}
+		if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+			continue
+		}
+		rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+		switch n.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			reportAccumulate(pass, info, n.TokPos, lhs)
+		case token.ASSIGN, token.DEFINE:
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+				if obj := exprObject(info, lhs); obj != nil && !sortedAfter(info, fnBody, rng, obj) {
+					pass.Reportf(n.TokPos, "append to %q while ranging over a map: iteration order is randomized per run — collect then sort, or sort %q before use", obj.Name(), obj.Name())
+				}
+				continue
+			}
+			// x = x + e (and x = x - e) spelled long-form.
+			if bin, ok := rhs.(*ast.BinaryExpr); ok && (bin.Op == token.ADD || bin.Op == token.SUB) {
+				if lo, xo := exprObject(info, lhs), exprObject(info, bin.X); lo != nil && lo == xo {
+					reportAccumulate(pass, info, n.TokPos, lhs)
+				}
+			}
+		}
+	}
+}
+
+// reportAccumulate flags += / -= style accumulation when the target's
+// type makes the order observable (floats: non-associative addition;
+// strings: concatenation order).
+func reportAccumulate(pass *Pass, info *types.Info, pos token.Pos, lhs ast.Expr) {
+	t := info.TypeOf(lhs)
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0 || b.Info()&types.IsComplex != 0:
+		pass.Reportf(pos, "float accumulation in randomized map order: addition is not associative, so the total is not bit-stable — iterate a sorted breakdown instead (cf. EnergyMeter.Breakdown)")
+	case b.Info()&types.IsString != 0:
+		pass.Reportf(pos, "string concatenation in randomized map order: output text differs run-to-run — collect keys, sort, then build the string")
+	}
+}
+
+// writerMethods are the ordered-sink methods that make a map-ordered
+// loop body emit bytes.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+// checkMapRangeCall flags writes into ordered sinks (io.Writer,
+// strings.Builder, fmt.Fprint*) from inside the loop body.
+func checkMapRangeCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" && (fn.Name() == "Fprint" || fn.Name() == "Fprintf" || fn.Name() == "Fprintln") {
+			pass.Reportf(call.Pos(), "fmt.%s while ranging over a map: bytes land in randomized iteration order — range over sorted keys instead", fn.Name())
+			return
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil && writerMethods[fn.Name()] && isOrderedSink(recv.Type()) {
+			pass.Reportf(call.Pos(), "%s.%s while ranging over a map: bytes land in randomized iteration order — range over sorted keys instead", sinkName(recv.Type()), fn.Name())
+		}
+	}
+}
+
+// isOrderedSink reports whether t is a byte sink whose content order is
+// observable: strings.Builder, bytes.Buffer, or anything implementing
+// io.Writer.
+func isOrderedSink(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	// Anything with a Write([]byte) (int, error) method is an io.Writer.
+	m, _, _ := types.LookupFieldOrMethod(named, true, obj.Pkg(), "Write")
+	if fn, ok := m.(*types.Func); ok {
+		sig := fn.Type().(*types.Signature)
+		return sig.Params().Len() == 1 && sig.Results().Len() == 2
+	}
+	return false
+}
+
+// sinkName renders the receiver type compactly for diagnostics.
+func sinkName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// isBuiltinAppend matches calls to the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// exprObject resolves an identifier or selector to its object.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := info.Uses[e]; o != nil {
+			return o
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices sorting
+// call after the range statement inside the same function body — the
+// collect-then-sort idiom.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	if fnBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && exprObject(info, id) == obj {
+					mentions = true
+				}
+				return !mentions
+			})
+			if mentions {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}

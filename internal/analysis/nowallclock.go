@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// NoWallClock forbids wall-clock time and global randomness. Every
+// timing result in this repository is derived from the virtual
+// sim.Clock and every random draw from a seeded sim.RNG, which is what
+// makes a whole run reproducible from one integer (docs/sweep-engine.md).
+// One stray time.Now or math/rand call silently re-introduces
+// run-to-run variance, so both are banned everywhere; deliberate
+// exceptions (e.g. a _test.go timeout helper) take a per-file
+// //trustlint:allow nowallclock directive.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid wall-clock time (time.Now/Since/Sleep/...) and math/rand; use sim.Clock and sim.RNG",
+	Run:  runNoWallClock,
+}
+
+// wallClockFuncs are the package time functions that read or wait on
+// the wall clock. Types and constants (time.Duration, time.Millisecond)
+// remain fine: they are units, not clocks.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// bannedImports are randomness sources outside the sim.RNG discipline.
+var bannedImports = map[string]string{
+	"math/rand":    "derive randomness from a seeded *sim.RNG",
+	"math/rand/v2": "derive randomness from a seeded *sim.RNG",
+}
+
+// maybeReadBytePkgs are the crypto packages whose GenerateKey consults
+// randutil.MaybeReadByte: it reads 0 or 1 extra bytes from the entropy
+// reader depending on the goroutine scheduler, so a deterministic
+// stream desynchronizes between otherwise identical runs. Read a
+// fixed-size seed yourself instead (pki.newX25519Key is the repo's
+// exemplar; this bug made Fig 9/10 transcripts flip between two nonce
+// sequences before it was found).
+var maybeReadBytePkgs = map[string]bool{
+	"crypto/ecdh":  true,
+	"crypto/ecdsa": true,
+	"crypto/rsa":   true,
+}
+
+func runNoWallClock(pass *Pass) {
+	for _, f := range pass.Files() {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s: %s", path, why)
+			}
+		}
+	}
+	for id, obj := range pass.Info().Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		switch {
+		case fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()]:
+			pass.Reportf(id.Pos(), "use of time.%s: wall time breaks run-to-run determinism; use the virtual sim.Clock", fn.Name())
+		case maybeReadBytePkgs[fn.Pkg().Path()] && fn.Name() == "GenerateKey":
+			pass.Reportf(id.Pos(), "use of %s.GenerateKey: it reads a scheduler-dependent number of bytes (randutil.MaybeReadByte), desynchronizing deterministic entropy streams; read a fixed-size seed and build the key explicitly", pathBase(fn.Pkg().Path()))
+		}
+	}
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// simType reports whether t is sim.<name> or *sim.<name>.
+func simType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "trust/internal/sim"
+}
+
+// walkFuncBodies visits every function body in the file, declarations
+// and literals alike.
+func walkFuncBodies(f *ast.File, visit func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n.Body)
+			}
+		case *ast.FuncLit:
+			visit(n.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,42 @@
+// Package ctfix exercises the ctcompare rule: MAC/tag/digest/secret/key
+// material must be compared in constant time.
+package ctfix
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"reflect"
+)
+
+// VerifyTag short-circuits on the first differing byte — the classic
+// MAC-forgery timing oracle.
+func VerifyTag(mac, expected []byte) bool {
+	return bytes.Equal(mac, expected) // want "bytes\\.Equal on mac"
+}
+
+// CheckSecret compares secret strings with the native operator.
+func CheckSecret(secret, candidate string) bool {
+	return secret == candidate // want "non-constant-time == on secret"
+}
+
+// SessionKey is sensitive by type name even when the variables are not.
+type SessionKey [32]byte
+
+// SameKey compares key arrays bytewise with ==.
+func SameKey(a, b SessionKey) bool {
+	return a == b // want "non-constant-time == on SessionKey"
+}
+
+// DeepTag hides the comparison behind reflection.
+func DeepTag(tag, other []byte) bool {
+	return reflect.DeepEqual(tag, other) // want "reflect\\.DeepEqual on tag"
+}
+
+// OK shows the sanctioned forms: presence checks against the empty
+// string and constant-time equality.
+func OK(mac, expected []byte, password string) bool {
+	if password == "" {
+		return false
+	}
+	return hmac.Equal(mac, expected)
+}

@@ -1,0 +1,75 @@
+// Package mofix exercises the maporder rule: order-dependent work
+// inside range-over-map makes artifacts differ run-to-run.
+package mofix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TotalEnergy reproduces the EnergyMeter.Total bug shape: float
+// addition in randomized order is not bit-stable.
+func TotalEnergy(by map[string]float64) float64 {
+	var total float64
+	for _, e := range by {
+		total += e // want "float accumulation in randomized map order"
+	}
+	return total
+}
+
+// Names collects keys without ever sorting them.
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to \"out\""
+	}
+	return out
+}
+
+// SortedNames is the sanctioned collect-then-sort shape.
+func SortedNames(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render streams rows in randomized order.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want "fmt\\.Fprintf while ranging over a map"
+	}
+	return b.String()
+}
+
+// Concat builds a string in randomized order.
+func Concat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want "string concatenation in randomized map order"
+	}
+	return s
+}
+
+// WriteRows pushes bytes into an ordered sink per iteration.
+func WriteRows(b *strings.Builder, m map[string]int) {
+	for k := range m {
+		b.WriteString(k) // want "strings\\.Builder\\.WriteString while ranging over a map"
+	}
+}
+
+// Copy into another map is order-independent and stays legal, as does
+// integer counting.
+func Copy(m map[string]int) (map[string]int, int) {
+	out := make(map[string]int, len(m))
+	n := 0
+	for k, v := range m {
+		out[k] = v
+		n++
+	}
+	return out, n
+}

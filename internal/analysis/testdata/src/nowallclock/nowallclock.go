@@ -1,0 +1,48 @@
+// Package nwfix exercises the nowallclock rule: wall-clock reads and
+// global randomness are banned in favour of sim.Clock / sim.RNG.
+package nwfix
+
+import (
+	"crypto/ecdh"
+	"io"
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+// Timestamp leaks wall time into what should be a virtual-clock world.
+func Timestamp() time.Duration {
+	start := time.Now()          // want "use of time\\.Now"
+	time.Sleep(time.Millisecond) // want "use of time\\.Sleep"
+	return time.Since(start)     // want "use of time\\.Since"
+}
+
+// Deadline passes a wall-clock timer channel around.
+func Deadline() <-chan time.Time {
+	return time.After(time.Second) // want "use of time\\.After"
+}
+
+// Draw consumes global randomness outside the sim.RNG discipline; the
+// import line above already carries the finding.
+func Draw() int {
+	return rand.Intn(6)
+}
+
+// Window shows that duration arithmetic stays legal: units are not
+// clocks.
+func Window() time.Duration { return 3 * time.Second }
+
+// EphemeralKey generates a key with a scheduler-dependent draw count:
+// crypto/ecdh's GenerateKey may consume an extra byte from rng
+// (randutil.MaybeReadByte), so a deterministic stream desynchronizes.
+func EphemeralKey(rng io.Reader) (*ecdh.PrivateKey, error) {
+	return ecdh.X25519().GenerateKey(rng) // want "use of ecdh\\.GenerateKey"
+}
+
+// SeededKey reads a fixed-size seed explicitly — the sanctioned shape.
+func SeededKey(rng io.Reader) (*ecdh.PrivateKey, error) {
+	seed := make([]byte, 32)
+	if _, err := io.ReadFull(rng, seed); err != nil {
+		return nil, err
+	}
+	return ecdh.X25519().NewPrivateKey(seed)
+}

@@ -1,0 +1,39 @@
+// Package rsfix exercises the rngstream rule: trial closures handed to
+// the sweep engine must derive their streams per trial index, never
+// capture a shared generator or clock.
+package rsfix
+
+import "trust/internal/sim"
+
+// Bad shares one generator and one clock across concurrently scheduled
+// trials, so draws depend on worker scheduling.
+func Bad(seed uint64, n int) ([]float64, error) {
+	rng := sim.NewRNG(seed)
+	clock := sim.NewClock()
+	return sim.ParMap(n, func(i int) (float64, error) {
+		_ = clock.Now()           // want "captures \\*sim\\.Clock \"clock\""
+		return rng.Float64(), nil // want "captures \\*sim\\.RNG \"rng\""
+	})
+}
+
+type rig struct {
+	rng *sim.RNG
+}
+
+// BadField reaches a shared stream through a captured struct — the same
+// bug with one more hop.
+func BadField(seed uint64, params []int) ([]int, error) {
+	r := rig{rng: sim.NewRNG(seed)}
+	return sim.Sweep(params, func(i, p int) (int, error) {
+		return r.rng.Intn(p + 1), nil // want "captures \\*sim\\.RNG \"rng\""
+	})
+}
+
+// Good derives a per-trial stream from the trial index: equal
+// (seed, trial) pairs give identical streams at any worker count.
+func Good(seed uint64, n int) ([]float64, error) {
+	return sim.ParMap(n, func(i int) (float64, error) {
+		rng := sim.TrialRNG(seed, i)
+		return rng.Float64(), nil
+	})
+}

@@ -1,0 +1,24 @@
+// Package spfix exercises the //trustlint:allow directive: scoped
+// suppression with a rule name is honoured, malformed suppression is
+// itself a finding.
+package spfix
+
+// Secrets compares fixture strings; the justified directive on the line
+// above the comparison suppresses the ctcompare finding.
+func Secrets(secret, candidate string) bool {
+	// Fixture data, not key material.
+	//trustlint:allow ctcompare
+	return secret == candidate
+}
+
+// Naked directives are findings: suppressions must name what they
+// suppress.
+func Naked() {
+	//trustlint:allow -- want "bare //trustlint:allow"
+}
+
+// Unknown rule names are findings too, so typos cannot silently disable
+// a rule.
+func Unknown() {
+	//trustlint:allow notarule -- want "unknown rule \"notarule\""
+}

@@ -310,20 +310,12 @@ func Fig6(seed uint64) (Result, error) {
 		[]string{"matched (verified)", frac(st.Matched)},
 		[]string{"mismatched", frac(st.Mismatched)},
 	)
-	var reasons []string
-	for r := range st.RejectReasons {
-		reasons = append(reasons, r.String())
-	}
-	sort.Strings(reasons)
 	text := fmtTable([]string{"pipeline stage", "touches"}, rows) + "\nquality reject reasons:\n"
 	var rrows [][]string
-	for _, name := range reasons {
-		for r, n := range st.RejectReasons {
-			if r.String() == name {
-				rrows = append(rrows, []string{name, fmt.Sprintf("%d", n)})
-			}
-		}
+	for r, n := range st.RejectReasons {
+		rrows = append(rrows, []string{r.String(), fmt.Sprintf("%d", n)})
 	}
+	sort.Slice(rrows, func(i, j int) bool { return rrows[i][0] < rrows[j][0] })
 	text += fmtTable([]string{"reason", "count"}, rrows)
 	// Risk trace excerpt: first 12 points.
 	text += "\nidentity-risk trace (first 12 touches):\n"

@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"trust/internal/frame"
 	"trust/internal/protocol"
@@ -60,7 +61,16 @@ func Fig9(seed uint64) (Result, error) {
 		"framehash": func(s *protocol.RegistrationSubmit) { s.FrameHash[0] ^= 1 },
 		"signature": func(s *protocol.RegistrationSubmit) { s.Signature[0] ^= 1 },
 	}
-	for name, mut := range mutations {
+	// Fixed order: each attempt draws nonces and touches from shared
+	// streams and appends a transcript row, so map-iteration order would
+	// scramble the artifact.
+	names := make([]string, 0, len(mutations))
+	for name := range mutations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mut := mutations[name]
 		// Fresh nonce/page per attempt so only the mutation can fail.
 		page2 := r.server.ServeRegistrationPage(r.now)
 		client.DisplayPage(page2.Page, frame.View{Zoom: 1})

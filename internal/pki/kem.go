@@ -23,11 +23,25 @@ type KemPair struct {
 
 // GenerateKemPair creates an X25519 pair from rand.
 func GenerateKemPair(rand io.Reader) (KemPair, error) {
-	priv, err := ecdh.X25519().GenerateKey(rand)
+	priv, err := newX25519Key(rand)
 	if err != nil {
 		return KemPair{}, fmt.Errorf("pki: generating KEM pair: %w", err)
 	}
 	return KemPair{Public: priv.PublicKey(), Private: priv}, nil
+}
+
+// newX25519Key derives a private key by reading exactly 32 bytes from
+// rand. crypto/ecdh's own GenerateKey consults randutil.MaybeReadByte,
+// which consumes 0 or 1 extra bytes depending on the goroutine
+// scheduler — that desynchronizes a DeterministicRand stream across
+// otherwise identical runs, so every key after the first ECDH key in a
+// run would shift. Reading the seed here keeps the draw count fixed.
+func newX25519Key(rand io.Reader) (*ecdh.PrivateKey, error) {
+	seed := make([]byte, 32)
+	if _, err := io.ReadFull(rand, seed); err != nil {
+		return nil, err
+	}
+	return ecdh.X25519().NewPrivateKey(seed)
 }
 
 // EncryptTo hybrid-encrypts plaintext to the recipient's X25519 public
@@ -37,7 +51,7 @@ func EncryptTo(recipientKem []byte, plaintext []byte, rand io.Reader) ([]byte, e
 	if err != nil {
 		return nil, fmt.Errorf("pki: recipient KEM key: %w", err)
 	}
-	eph, err := ecdh.X25519().GenerateKey(rand)
+	eph, err := newX25519Key(rand)
 	if err != nil {
 		return nil, fmt.Errorf("pki: ephemeral KEM key: %w", err)
 	}

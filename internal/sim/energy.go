@@ -57,11 +57,14 @@ func (m *EnergyMeter) Component(component string) Joule {
 	return m.byComponent[component]
 }
 
-// Total returns the energy summed over all components.
+// Total returns the energy summed over all components. The sum runs in
+// sorted component order (via Breakdown): float addition is not
+// associative, so summing in randomized map-iteration order would make
+// the total differ in the last bits from run to run.
 func (m *EnergyMeter) Total() Joule {
 	var t Joule
-	for _, e := range m.byComponent {
-		t += e
+	for _, ce := range m.Breakdown() {
+		t += ce.Energy
 	}
 	return t
 }

@@ -39,6 +39,33 @@ func TestEnergyMeterBreakdownSorted(t *testing.T) {
 	}
 }
 
+// TestEnergyMeterTotalBitStable is the regression test for the
+// map-order determinism bug: Total used to sum components in randomized
+// map-iteration order, so float non-associativity made totals differ in
+// the last bits between runs. 100 meters filled in shuffled insertion
+// orders must now agree bit-for-bit.
+func TestEnergyMeterTotalBitStable(t *testing.T) {
+	// Magnitudes spanning ~12 decades so any reordering of the partial
+	// sums actually perturbs the low mantissa bits.
+	charges := []Joule{3.1e-9, 7.2e-6, 1.4e-3, 0.6, 5e-8, 2.25e-4, 9.9e-2, 1.7e-7, 4.4e-5, 8.8e-1, 6.02e-6, 1.3e-10}
+	rng := NewRNG(0xb17)
+	var want Joule
+	for trial := 0; trial < 100; trial++ {
+		m := NewEnergyMeter()
+		for _, i := range rng.Perm(len(charges)) {
+			m.AddEvent("component-"+string(rune('a'+i)), charges[i])
+		}
+		got := m.Total()
+		if trial == 0 {
+			want = got
+			continue
+		}
+		if math.Float64bits(float64(got)) != math.Float64bits(float64(want)) {
+			t.Fatalf("trial %d: Total() = %b, want %b (bit-unstable across insertion orders)", trial, got, want)
+		}
+	}
+}
+
 func TestEnergyMeterReset(t *testing.T) {
 	m := NewEnergyMeter()
 	m.AddEvent("x", 1)

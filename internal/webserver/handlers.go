@@ -2,6 +2,7 @@ package webserver
 
 import (
 	"crypto/ed25519"
+	"crypto/subtle"
 	"encoding/hex"
 	"fmt"
 	"time"
@@ -155,7 +156,7 @@ func (s *Server) HandlePageRequest(now time.Duration, req *protocol.PageRequest)
 		s.RejectedRequests++
 		return nil, ErrBadMAC
 	}
-	if req.Nonce != sess.lastNonce {
+	if subtle.ConstantTimeCompare([]byte(req.Nonce), []byte(sess.lastNonce)) != 1 {
 		s.RejectedRequests++
 		return nil, ErrBadNonce
 	}
@@ -223,7 +224,7 @@ func (s *Server) ResetIdentity(account, recoveryPassword string) error {
 	if !ok {
 		return ErrUnknownAccount
 	}
-	if acct.RecoveryPassword == "" || acct.RecoveryPassword != recoveryPassword {
+	if acct.RecoveryPassword == "" || subtle.ConstantTimeCompare([]byte(acct.RecoveryPassword), []byte(recoveryPassword)) != 1 {
 		return fmt.Errorf("webserver: recovery password mismatch")
 	}
 	delete(s.accounts, account)
