@@ -9,6 +9,7 @@
 //	benchtab -x attacks          # extension experiment X3
 //	benchtab -all -seed 99       # different deterministic seed
 //	benchtab -json               # measure every artifact, write BENCH_harness.json
+//	benchtab -server-json -      # measure server throughput, write BENCH_server.json
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"trust/internal/analysis"
 	"trust/internal/harness"
+	"trust/internal/loadgen"
 )
 
 func main() {
@@ -31,7 +33,8 @@ func main() {
 		ext      = flag.String("x", "", "extension experiment: placement|window|attacks|energy|frameaudit|transfer|fuzzyvault|modalities|hijack|imagepipeline|adaptation|noise|personalization")
 		seed     = flag.Uint64("seed", harness.Seed, "deterministic experiment seed")
 		out      = flag.String("out", "", "also write each artifact to <out>/<id>.txt")
-		jsonPath = flag.String("json", "", "measure every artifact generator and write {name: {ns_per_op, allocs_per_op}} to the given file ('' = off; '-' = BENCH_harness.json)")
+		jsonPath   = flag.String("json", "", "measure every artifact generator and write {name: {ns_per_op, allocs_per_op}} to the given file ('' = off; '-' = BENCH_harness.json)")
+		serverJSON = flag.String("server-json", "", "measure server load scenarios (ops/sec, p50/p99) and write the report to the given file ('' = off; '-' = BENCH_server.json)")
 	)
 	flag.Parse()
 
@@ -59,6 +62,15 @@ func main() {
 	}
 
 	switch {
+	case *serverJSON != "":
+		path := *serverJSON
+		if path == "-" {
+			path = "BENCH_server.json"
+		}
+		if err := writeServerJSON(path, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
 	case *jsonPath != "":
 		path := *jsonPath
 		if path == "-" {
@@ -121,6 +133,43 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeServerJSON measures the fixed server load-scenario matrix (the
+// concurrency PR's before/after evidence) and writes the throughput
+// report with gomaxprocs/num_cpu metadata. The direct 1-device row is
+// the serial baseline the parallel rows are compared against; see
+// docs/server-scaling.md.
+func writeServerJSON(path string, seed uint64) error {
+	// Fail on an unwritable path before spending minutes measuring.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	configs := []loadgen.Config{
+		{Devices: 1, Transport: loadgen.Direct, Mode: loadgen.PageRequest, Seed: seed},
+		{Devices: 8, Transport: loadgen.Direct, Mode: loadgen.PageRequest, Seed: seed},
+		{Devices: 8, Transport: loadgen.Direct, Mode: loadgen.Login, Seed: seed},
+		{Devices: 8, Transport: loadgen.HTTPJSON, Mode: loadgen.PageRequest, Seed: seed},
+		{Devices: 8, Transport: loadgen.HTTPBinary, Mode: loadgen.PageRequest, Seed: seed},
+	}
+	var results []loadgen.Result
+	for _, cfg := range configs {
+		res, err := loadgen.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.Name(), err)
+		}
+		results = append(results, res)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ops/sec %10.2fµs p50 %10.2fµs p99 %6d allocs/op\n",
+			res.Name, res.OpsPerSec, float64(res.P50Ns)/1e3, float64(res.P99Ns)/1e3, res.AllocsPerOp)
+	}
+	report := loadgen.NewReport(results)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // benchEntry is one measured artifact in the -json report.

@@ -2,6 +2,7 @@ package frame
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -15,19 +16,31 @@ type AuditEntry struct {
 	At      time.Duration // virtual time of the interaction
 }
 
-// AuditLog accumulates frame hashes for offline verification.
+// AuditLog accumulates frame hashes for offline verification. Safe for
+// concurrent use: the server appends from every request goroutine.
 type AuditLog struct {
+	mu      sync.Mutex
 	entries []AuditEntry
 }
 
 // Append records one entry.
-func (l *AuditLog) Append(e AuditEntry) { l.entries = append(l.entries, e) }
+func (l *AuditLog) Append(e AuditEntry) {
+	l.mu.Lock()
+	l.entries = append(l.entries, e)
+	l.mu.Unlock()
+}
 
 // Len reports the number of logged entries.
-func (l *AuditLog) Len() int { return len(l.entries) }
+func (l *AuditLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
 
 // Entries returns a copy of the log.
 func (l *AuditLog) Entries() []AuditEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return append([]AuditEntry(nil), l.entries...)
 }
 
@@ -66,7 +79,7 @@ func Audit(log *AuditLog, served map[string]*Page, screenHeightPX float64) Audit
 		sets[url] = PossibleHashes(p, screenHeightPX)
 		report.HashesComputed += len(sets[url])
 	}
-	for _, e := range log.entries {
+	for _, e := range log.Entries() {
 		report.Checked++
 		finding := AuditFinding{Entry: e}
 		if set, ok := sets[e.PageURL]; ok {

@@ -1,0 +1,316 @@
+// Package loadgen drives fleets of simulated TRUST devices against one
+// webserver to measure remote-auth throughput (the ROADMAP's
+// "heavy traffic from millions of users" scaling story). Virtual time
+// stays deterministic — each device's clock is frozen after its touch
+// verification and rides the protocol's `now` parameter — while the
+// wall-clock measurement itself comes from testing.Benchmark, the same
+// instrument the repo's benchmarks use. Results feed cmd/trustload and
+// benchtab's BENCH_server.json report.
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trust/internal/device"
+	"trust/internal/fingerprint"
+	"trust/internal/flock"
+	"trust/internal/geom"
+	"trust/internal/pki"
+	"trust/internal/placement"
+	"trust/internal/touch"
+	"trust/internal/webserver"
+)
+
+// Transport selects how device traffic reaches the server.
+type Transport int
+
+const (
+	// Direct calls the handlers in-process: pure server-path cost, no
+	// network or codec overhead.
+	Direct Transport = iota
+	// HTTPJSON drives a live httptest.Server with the JSON codec.
+	HTTPJSON
+	// HTTPBinary drives a live httptest.Server with the compact binary
+	// codec.
+	HTTPBinary
+)
+
+func (t Transport) String() string {
+	switch t {
+	case Direct:
+		return "direct"
+	case HTTPJSON:
+		return "http-json"
+	case HTTPBinary:
+		return "http-binary"
+	}
+	return fmt.Sprintf("transport(%d)", int(t))
+}
+
+// Mode selects the operation each device repeats.
+type Mode int
+
+const (
+	// PageRequest repeats the continuous-auth page request — the
+	// steady-state hot path (one round trip per page view).
+	PageRequest Mode = iota
+	// Login repeats the full Fig 10 login: nonce issue/consume, KEM
+	// decapsulation, session establishment.
+	Login
+)
+
+func (m Mode) String() string {
+	switch m {
+	case PageRequest:
+		return "page-request"
+	case Login:
+		return "login"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config describes one load scenario.
+type Config struct {
+	// Devices is the number of concurrently driving simulated devices
+	// (one goroutine each, one session/account each).
+	Devices   int
+	Transport Transport
+	Mode      Mode
+	// Seed parameterizes the deterministic fleet construction.
+	Seed uint64
+}
+
+// Name is the scenario's identifier in reports.
+func (c Config) Name() string {
+	return fmt.Sprintf("%s_%s_%d", c.Mode, c.Transport, c.Devices)
+}
+
+// Result is one measured scenario.
+type Result struct {
+	Name        string  `json:"name"`
+	Devices     int     `json:"devices"`
+	Ops         int     `json:"ops"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// loadDevice is one simulated device with its frozen virtual clock.
+type loadDevice struct {
+	dev *device.Device
+	now time.Duration
+}
+
+// fleet is a fully constructed scenario ready to measure.
+type fleet struct {
+	cfg     Config
+	server  *webserver.Server
+	cert    *pki.Certificate
+	ts      *httptest.Server
+	devices []*loadDevice
+}
+
+// build constructs the server and device fleet serially (the CA's
+// entropy stream and certificate serials are sequential); only the
+// measured traffic runs concurrently.
+func build(cfg Config) (*fleet, error) {
+	if cfg.Devices < 1 {
+		return nil, fmt.Errorf("loadgen: %d devices", cfg.Devices)
+	}
+	ca, err := pki.NewCA("trust-root", pki.NewDeterministicRand(cfg.Seed^0x10ad))
+	if err != nil {
+		return nil, err
+	}
+	srv, err := webserver.New("load.example", ca, cfg.Seed^0x5e7)
+	if err != nil {
+		return nil, err
+	}
+	fl := &fleet{cfg: cfg, server: srv, cert: srv.Certificate()}
+
+	var mkTransport func(i int) device.Transport
+	switch cfg.Transport {
+	case Direct:
+		mkTransport = func(int) device.Transport { return &device.InMemory{Server: srv} }
+	case HTTPJSON, HTTPBinary:
+		fl.ts = httptest.NewServer(srv.Handler())
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.Devices * 2,
+			MaxIdleConnsPerHost: cfg.Devices * 2,
+		}}
+		mkTransport = func(int) device.Transport {
+			return &device.HTTP{BaseURL: fl.ts.URL, Client: client, Binary: cfg.Transport == HTTPBinary}
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown transport %v", cfg.Transport)
+	}
+
+	pl := placement.Placement{Sensors: []geom.Rect{geom.RectWH(180, 660, 120, 120)}}
+	for i := 0; i < cfg.Devices; i++ {
+		mod, err := flock.New(flock.DefaultConfig(pl), ca, fmt.Sprintf("load-dev-%d", i), cfg.Seed+100+uint64(i))
+		if err != nil {
+			fl.close()
+			return nil, err
+		}
+		f := fingerprint.Synthesize(cfg.Seed+9000+uint64(i)*13, fingerprint.PatternType(i%3))
+		if err := mod.Enroll(fingerprint.NewTemplate(f)); err != nil {
+			fl.close()
+			return nil, err
+		}
+		ld := &loadDevice{dev: device.New(fmt.Sprintf("load-dev-%d", i), mod, mkTransport(i))}
+		verified := false
+		for a := 0; a < 40 && !verified; a++ {
+			ev := touch.Event{At: ld.now, Pos: geom.Point{X: 240, Y: 720}, Pressure: 0.7, RadiusMM: 4.2, SpeedMMS: 1}
+			if ld.dev.Touch(ev, f).Kind == flock.Matched {
+				verified = true
+			} else {
+				ld.now += 400 * time.Millisecond
+			}
+		}
+		if !verified {
+			fl.close()
+			return nil, fmt.Errorf("loadgen: device %d never touch-verified", i)
+		}
+		if err := ld.dev.Register(ld.now, account(i), "recovery-pw"); err != nil {
+			fl.close()
+			return nil, fmt.Errorf("loadgen: device %d register: %w", i, err)
+		}
+		if cfg.Mode == PageRequest {
+			if err := ld.dev.Login(ld.now, fl.cert, account(i)); err != nil {
+				fl.close()
+				return nil, fmt.Errorf("loadgen: device %d login: %w", i, err)
+			}
+		}
+		fl.devices = append(fl.devices, ld)
+	}
+	return fl, nil
+}
+
+func account(i int) string { return fmt.Sprintf("load-acct-%d", i) }
+
+func (fl *fleet) close() {
+	if fl.ts != nil {
+		fl.ts.Close()
+	}
+}
+
+// op runs one operation on device i.
+func (fl *fleet) op(i, iter int) error {
+	ld := fl.devices[i]
+	switch fl.cfg.Mode {
+	case Login:
+		return ld.dev.Login(ld.now, fl.cert, account(i))
+	default:
+		action := "view-statement"
+		if iter%2 == 1 {
+			action = "home"
+		}
+		return ld.dev.Browse(ld.now, action)
+	}
+}
+
+// Run builds the scenario and measures it with testing.Benchmark: the
+// b.N operations are spread over the device goroutines through a
+// shared atomic counter, and per-op latencies are sampled as
+// b.Elapsed() deltas inside each worker (the testing clock is the only
+// wall clock this package touches).
+func Run(cfg Config) (Result, error) {
+	fl, err := build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer fl.close()
+
+	var (
+		opErr  atomic.Value // error
+		failed atomic.Bool
+		lats   [][]time.Duration
+	)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		// Keep only the final invocation's samples: testing.Benchmark
+		// re-runs with growing b.N until the run is long enough.
+		lats = make([][]time.Duration, cfg.Devices)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for w := 0; w < cfg.Devices; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					n := next.Add(1)
+					if n > int64(b.N) || failed.Load() {
+						return
+					}
+					t0 := b.Elapsed()
+					if err := fl.op(w, int(n)); err != nil {
+						opErr.Store(fmt.Errorf("loadgen: device %d op %d: %w", w, n, err))
+						failed.Store(true)
+						return
+					}
+					lats[w] = append(lats[w], b.Elapsed()-t0)
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+	if failed.Load() {
+		return Result{}, opErr.Load().(error)
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) int64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return int64(all[i])
+	}
+	out := Result{
+		Name:        cfg.Name(),
+		Devices:     cfg.Devices,
+		Ops:         res.N,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		P50Ns:       pct(0.50),
+		P99Ns:       pct(0.99),
+	}
+	if s := res.T.Seconds(); s > 0 {
+		out.OpsPerSec = float64(res.N) / s
+	}
+	return out, nil
+}
+
+// Report is the machine-readable scaling report (BENCH_server.json):
+// scenario results plus the hardware context they were measured on —
+// ops/sec comparisons are meaningless without the core count.
+type Report struct {
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Scenarios  []Result `json:"scenarios"`
+}
+
+// NewReport wraps results with the runtime's parallelism metadata.
+func NewReport(results []Result) Report {
+	return Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scenarios:  results,
+	}
+}

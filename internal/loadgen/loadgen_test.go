@@ -1,0 +1,45 @@
+package loadgen
+
+import "testing"
+
+func TestRunDirectPageRequest(t *testing.T) {
+	res, err := Run(Config{Devices: 2, Transport: Direct, Mode: PageRequest, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 1 || res.OpsPerSec <= 0 || res.NsPerOp <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.P50Ns <= 0 || res.P99Ns < res.P50Ns {
+		t.Fatalf("latency percentiles inconsistent: %+v", res)
+	}
+	if res.Name != "page-request_direct_2" {
+		t.Fatalf("scenario name %q", res.Name)
+	}
+}
+
+func TestRunHTTPBinaryLogin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("HTTP login scenario is slow")
+	}
+	res, err := Run(Config{Devices: 2, Transport: HTTPBinary, Mode: Login, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 1 || res.OpsPerSec <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestRunRejectsEmptyFleet(t *testing.T) {
+	if _, err := Run(Config{Devices: 0}); err == nil {
+		t.Fatal("zero-device config accepted")
+	}
+}
+
+func TestNewReportCarriesParallelismMetadata(t *testing.T) {
+	rep := NewReport([]Result{{Name: "x"}})
+	if rep.GoMaxProcs < 1 || rep.NumCPU < 1 || len(rep.Scenarios) != 1 {
+		t.Fatalf("report metadata: %+v", rep)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"trust/internal/frame"
 	"trust/internal/geom"
@@ -206,10 +207,25 @@ func readCert(r *binReader) *pki.Certificate {
 	}
 }
 
+// writerPool recycles encode buffers across EncodeBinary calls (the
+// per-request hot path re-encodes a ContentPage on every response).
+// Oversized buffers are dropped instead of pooled so one huge message
+// does not pin its allocation forever.
+var writerPool = sync.Pool{New: func() any { return new(binWriter) }}
+
+const maxPooledEncodeBuf = 64 << 10
+
 // EncodeBinary serializes any protocol message to the compact wire
-// form.
+// form. The returned slice is freshly allocated and owned by the
+// caller.
 func EncodeBinary(msg any) ([]byte, error) {
-	w := &binWriter{}
+	w := writerPool.Get().(*binWriter)
+	w.buf.Reset()
+	defer func() {
+		if w.buf.Cap() <= maxPooledEncodeBuf {
+			writerPool.Put(w)
+		}
+	}()
 	w.u8(binVersion)
 	switch m := msg.(type) {
 	case *RegistrationPage:
@@ -267,7 +283,7 @@ func EncodeBinary(msg any) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("protocol: cannot binary-encode %T", msg)
 	}
-	return w.buf.Bytes(), nil
+	return append([]byte(nil), w.buf.Bytes()...), nil
 }
 
 // DecodeBinary parses a binary message, returning one of the protocol

@@ -1,0 +1,14 @@
+package webserver
+
+// SessionRequestsForTest exposes a session's served-request counter to
+// the external (webserver_test) concurrency tests, which cannot reach
+// the unexported store.
+func SessionRequestsForTest(s *Server, id string) (int, bool) {
+	sess, ok := s.sessions.get(id)
+	if !ok {
+		return 0, false
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.requests, true
+}

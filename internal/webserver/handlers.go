@@ -3,7 +3,6 @@ package webserver
 import (
 	"crypto/ed25519"
 	"crypto/subtle"
-	"encoding/hex"
 	"fmt"
 	"time"
 
@@ -18,8 +17,8 @@ import (
 func (s *Server) ServeRegistrationPage(now time.Duration) *protocol.RegistrationPage {
 	msg := &protocol.RegistrationPage{
 		Domain:     s.domain,
-		Nonce:      s.newNonce(),
-		Page:       s.pages[s.regURL],
+		Nonce:      s.newNonce(now),
+		Page:       s.page(s.regURL),
 		ServerCert: s.cert.Clone(),
 	}
 	msg.Signature = s.sign(msg.SigningBytes())
@@ -31,7 +30,7 @@ func (s *Server) ServeRegistrationPage(now time.Duration) *protocol.Registration
 // the nonce; then store the account binding and log the frame hash.
 func (s *Server) HandleRegistration(now time.Duration, sub *protocol.RegistrationSubmit, recoveryPassword string) protocol.RegistrationResult {
 	fail := func(reason string) protocol.RegistrationResult {
-		s.RejectedRequests++
+		s.rejected.Add(1)
 		return protocol.RegistrationResult{OK: false, Reason: reason}
 	}
 	if sub == nil {
@@ -46,21 +45,21 @@ func (s *Server) HandleRegistration(now time.Duration, sub *protocol.Registratio
 	if !ed25519.Verify(sub.DeviceCert.Key(), sub.SigningBytes(), sub.Signature) {
 		return fail("submission signature invalid")
 	}
-	if !s.consumeNonce(sub.Nonce) {
+	if !s.nonces.consume(sub.Nonce, now) {
 		return fail("nonce unknown or replayed")
 	}
 	if len(sub.UserPub) != ed25519.PublicKeySize {
 		return fail("malformed user key")
 	}
-	if existing, ok := s.accounts[sub.Account]; ok && string(existing.PublicKey) != "" {
-		return fail(ErrTaken.Error())
-	}
-	s.accounts[sub.Account] = &Account{
+	acct := &Account{
 		ID:               sub.Account,
 		PublicKey:        append(ed25519.PublicKey(nil), sub.UserPub...),
 		DeviceSubject:    sub.DeviceCert.Subject,
 		RecoveryPassword: recoveryPassword,
 		RegisteredAt:     now,
+	}
+	if !s.accounts.claim(acct) {
+		return fail(ErrTaken.Error())
 	}
 	s.audit.Append(frame.AuditEntry{
 		Account: sub.Account,
@@ -68,7 +67,7 @@ func (s *Server) HandleRegistration(now time.Duration, sub *protocol.Registratio
 		Hash:    sub.FrameHash,
 		At:      now,
 	})
-	s.AcceptedRequests++
+	s.accepted.Add(1)
 	return protocol.RegistrationResult{OK: true}
 }
 
@@ -76,8 +75,8 @@ func (s *Server) HandleRegistration(now time.Duration, sub *protocol.Registratio
 func (s *Server) ServeLoginPage(now time.Duration) *protocol.LoginPage {
 	msg := &protocol.LoginPage{
 		Domain: s.domain,
-		Nonce:  s.newNonce(),
-		Page:   s.pages[s.loginURL],
+		Nonce:  s.newNonce(now),
+		Page:   s.page(s.loginURL),
 	}
 	msg.Signature = s.sign(msg.SigningBytes())
 	return msg
@@ -89,93 +88,106 @@ func (s *Server) ServeLoginPage(now time.Duration) *protocol.LoginPage {
 // first content page.
 func (s *Server) HandleLogin(now time.Duration, sub *protocol.LoginSubmit) (*protocol.ContentPage, error) {
 	if sub == nil || sub.Domain != s.domain {
-		s.RejectedRequests++
+		s.rejected.Add(1)
 		return nil, fmt.Errorf("webserver: malformed login")
 	}
-	if s.failedLogins[sub.Account] >= s.MaxLoginFailures {
-		s.RejectedRequests++
+	if s.accounts.failures(sub.Account) >= s.MaxLoginFailures {
+		s.rejected.Add(1)
 		return nil, ErrRateLimited
 	}
-	acct, ok := s.accounts[sub.Account]
+	acct, ok := s.accounts.get(sub.Account)
 	if !ok {
-		s.failedLogins[sub.Account]++
-		s.RejectedRequests++
+		s.accounts.addFailure(sub.Account)
+		s.rejected.Add(1)
 		return nil, ErrUnknownAccount
 	}
 	if !ed25519.Verify(acct.PublicKey, sub.SigningBytes(), sub.Signature) {
-		s.failedLogins[sub.Account]++
-		s.RejectedRequests++
+		s.accounts.addFailure(sub.Account)
+		s.rejected.Add(1)
 		return nil, ErrBadSignature
 	}
-	if !s.consumeNonce(sub.Nonce) {
-		s.RejectedRequests++
+	if !s.nonces.consume(sub.Nonce, now) {
+		s.rejected.Add(1)
 		return nil, ErrBadNonce
 	}
 	key, err := pki.DecryptWith(s.kem.Private, sub.SessionKeyCT)
 	if err != nil || len(key) != pki.SessionKeySize {
-		s.RejectedRequests++
+		s.rejected.Add(1)
 		return nil, fmt.Errorf("webserver: session key recovery failed")
 	}
 	if !pki.CheckMAC(key, sub.MACBytes(), sub.MAC) {
-		s.RejectedRequests++
+		s.rejected.Add(1)
 		return nil, ErrBadMAC
 	}
-	if !s.policy.ok(sub.RiskVerified, sub.RiskWindow) {
-		s.RejectedRequests++
+	if !s.riskPolicy().ok(sub.RiskVerified, sub.RiskWindow) {
+		s.rejected.Add(1)
 		return nil, fmt.Errorf("%w: %d of %d verified", ErrRiskPolicy, sub.RiskVerified, sub.RiskWindow)
 	}
 
-	idBytes := make([]byte, 12)
-	s.entropy.Read(idBytes)
 	sess := &session{
-		id:      hex.EncodeToString(idBytes),
+		id:      s.newSessionID(),
 		account: sub.Account,
 		key:     key,
 	}
-	s.sessions[sess.id] = sess
-	delete(s.failedLogins, sub.Account)
+	// Build the response (rotating the session nonce) before the
+	// session becomes findable, so no request can observe it half
+	// initialized.
+	cp := s.contentPage(sess, s.PageForAction("login"))
+	s.sessions.put(sess)
+	s.accounts.clearFailures(sub.Account)
 	s.audit.Append(frame.AuditEntry{Account: sub.Account, PageURL: s.loginURL, Hash: sub.FrameHash, At: now})
-	s.AcceptedRequests++
-	return s.contentPage(sess, s.PageForAction("login")), nil
+	s.accepted.Add(1)
+	return cp, nil
 }
 
 // HandlePageRequest is Fig 10 step 4: verify session MAC, nonce echo,
 // and the risk policy for every subsequent interaction; log the frame
-// hash; serve the next page under a fresh nonce.
+// hash; serve the next page under a fresh nonce. The whole check-and-
+// rotate runs under the session's own mutex: requests on the same
+// session serialize (the nonce echo demands it), requests on different
+// sessions run in parallel.
 func (s *Server) HandlePageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
 	if req == nil || req.Domain != s.domain {
-		s.RejectedRequests++
+		s.rejected.Add(1)
 		return nil, fmt.Errorf("webserver: malformed request")
 	}
-	sess, ok := s.sessions[req.SessionID]
-	if !ok || sess.revoked || sess.account != req.Account {
-		s.RejectedRequests++
+	sess, ok := s.sessions.get(req.SessionID)
+	if !ok {
+		s.rejected.Add(1)
+		return nil, ErrUnknownSession
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.revoked || sess.account != req.Account {
+		s.rejected.Add(1)
 		return nil, ErrUnknownSession
 	}
 	if !pki.CheckMAC(sess.key, req.MACBytes(), req.MAC) {
-		s.RejectedRequests++
+		s.rejected.Add(1)
 		return nil, ErrBadMAC
 	}
 	if subtle.ConstantTimeCompare([]byte(req.Nonce), []byte(sess.lastNonce)) != 1 {
-		s.RejectedRequests++
+		s.rejected.Add(1)
 		return nil, ErrBadNonce
 	}
-	if !s.policy.ok(req.RiskVerified, req.RiskWindow) {
+	if !s.riskPolicy().ok(req.RiskVerified, req.RiskWindow) {
 		sess.revoked = true // continuous auth failed: hard stop
-		s.RejectedRequests++
+		s.rejected.Add(1)
 		return nil, fmt.Errorf("%w: %d of %d verified", ErrRiskPolicy, req.RiskVerified, req.RiskWindow)
 	}
 	sess.requests++
 	// The request's frame hash attests the page the user was viewing
 	// when touching — the page this session was last served.
 	s.audit.Append(frame.AuditEntry{Account: req.Account, PageURL: sess.lastPage, Hash: req.FrameHash, At: now})
-	s.AcceptedRequests++
+	s.accepted.Add(1)
 	return s.contentPage(sess, s.PageForAction(req.Action)), nil
 }
 
 // contentPage builds the MAC'd response and rotates the session nonce.
+// The caller must own the session: either it is freshly created and
+// not yet published, or its mutex is held.
 func (s *Server) contentPage(sess *session, page *frame.Page) *protocol.ContentPage {
-	nonce := s.newNonce()
+	nonce := s.mintNonce()
 	sess.lastNonce = nonce
 	sess.lastPage = page.URL
 	msg := &protocol.ContentPage{
@@ -191,8 +203,13 @@ func (s *Server) contentPage(sess *session, page *frame.Page) *protocol.ContentP
 
 // SessionAlive reports whether a session exists and is not revoked.
 func (s *Server) SessionAlive(id string) bool {
-	sess, ok := s.sessions[id]
-	return ok && !sess.revoked
+	sess, ok := s.sessions.get(id)
+	if !ok {
+		return false
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return !sess.revoked
 }
 
 // HumanOriginated is the paper's CAPTCHA replacement: "the use of real
@@ -205,8 +222,14 @@ func (s *Server) HumanOriginated(req *protocol.PageRequest) bool {
 	if req == nil {
 		return false
 	}
-	sess, ok := s.sessions[req.SessionID]
-	if !ok || sess.revoked || sess.account != req.Account {
+	sess, ok := s.sessions.get(req.SessionID)
+	if !ok {
+		return false
+	}
+	sess.mu.Lock()
+	revoked := sess.revoked
+	sess.mu.Unlock()
+	if revoked || sess.account != req.Account {
 		return false
 	}
 	if !pki.CheckMAC(sess.key, req.MACBytes(), req.MAC) {
@@ -220,19 +243,21 @@ func (s *Server) HumanOriginated(req *protocol.PageRequest) bool {
 // server removes the public-key binding (and kills live sessions) so a
 // new device can re-register the account.
 func (s *Server) ResetIdentity(account, recoveryPassword string) error {
-	acct, ok := s.accounts[account]
+	acct, ok := s.accounts.get(account)
 	if !ok {
 		return ErrUnknownAccount
 	}
 	if acct.RecoveryPassword == "" || subtle.ConstantTimeCompare([]byte(acct.RecoveryPassword), []byte(recoveryPassword)) != 1 {
 		return fmt.Errorf("webserver: recovery password mismatch")
 	}
-	delete(s.accounts, account)
-	delete(s.failedLogins, account)
-	for _, sess := range s.sessions {
-		if sess.account == account {
-			sess.revoked = true
+	s.accounts.remove(account)
+	s.sessions.forEach(func(sess *session) {
+		if sess.account != account {
+			return
 		}
-	}
+		sess.mu.Lock()
+		sess.revoked = true
+		sess.mu.Unlock()
+	})
 	return nil
 }

@@ -1,6 +1,7 @@
 package webserver
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,143 +17,126 @@ import (
 // binaryMIME selects the compact binary codec on the HTTP transport.
 const binaryMIME = "application/octet-stream"
 
-// assignMessage copies a decoded binary message into the handler's
-// typed destination; it reports false on a type mismatch.
-func assignMessage(dst any, msg any) bool {
-	switch d := dst.(type) {
-	case *protocol.RegistrationSubmit:
-		if m, ok := msg.(*protocol.RegistrationSubmit); ok {
-			*d = *m
-			return true
+// maxBodyBytes bounds request bodies on every POST route.
+const maxBodyBytes = 1 << 20
+
+// bodyPool recycles the read buffers binary request bodies land in.
+// DecodeBinary copies every field out of the raw bytes, so a buffer can
+// be returned to the pool as soon as decoding finishes.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// requestNow extracts the virtual timestamp from the "now" query
+// parameter (nanoseconds); omitted, it defaults to zero.
+func requestNow(r *http.Request) time.Duration {
+	ns, _ := strconv.ParseInt(r.URL.Query().Get("now"), 10, 64)
+	return time.Duration(ns)
+}
+
+// writeResponse applies content negotiation: JSON by default; the
+// compact binary codec when the client accepts
+// application/octet-stream (the cookie-extension deployment's
+// encoding).
+func writeResponse(w http.ResponseWriter, r *http.Request, v any) {
+	if r.Header.Get("Accept") == binaryMIME {
+		data, err := protocol.EncodeBinary(v)
+		if err == nil {
+			w.Header().Set("Content-Type", binaryMIME)
+			w.Write(data)
+			return
 		}
-	case *protocol.LoginSubmit:
-		if m, ok := msg.(*protocol.LoginSubmit); ok {
-			*d = *m
-			return true
-		}
-	case *protocol.PageRequest:
-		if m, ok := msg.(*protocol.PageRequest); ok {
-			*d = *m
-			return true
-		}
+		// Not binary-encodable (e.g. RegistrationResult): fall
+		// through to JSON.
 	}
-	return false
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// decodeBody parses the request body into a freshly decoded *M. For
+// the binary codec the decoder's own pointer is routed straight to the
+// caller — no value copy in between.
+func decodeBody[M any](w http.ResponseWriter, r *http.Request) (*M, bool) {
+	if r.Header.Get("Content-Type") == binaryMIME {
+		buf := bodyPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		defer bodyPool.Put(buf)
+		if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return nil, false
+		}
+		msg, err := protocol.DecodeBinary(buf.Bytes())
+		if err != nil {
+			http.Error(w, "bad binary body: "+err.Error(), http.StatusBadRequest)
+			return nil, false
+		}
+		m, ok := msg.(*M)
+		if !ok {
+			http.Error(w, "binary body has wrong message type", http.StatusBadRequest)
+			return nil, false
+		}
+		return m, true
+	}
+	m := new(M)
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(m); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return m, true
 }
 
 // Handler exposes the server over HTTP for the networked examples and
 // the trustserver binary. Virtual time rides the "now" query parameter
-// (nanoseconds) so simulated clients stay deterministic; omitted, it
-// defaults to zero. A mutex serializes handler state, which net/http
-// calls concurrently.
+// (nanoseconds) so simulated clients stay deterministic. There is no
+// handler-level lock: net/http calls these functions from one goroutine
+// per request, and the Server's sharded stores (store.go) carry all the
+// synchronization, so requests on different sessions run in parallel.
 func (s *Server) Handler() http.Handler {
-	var mu sync.Mutex
 	mux := http.NewServeMux()
 
-	now := func(r *http.Request) time.Duration {
-		ns, _ := strconv.ParseInt(r.URL.Query().Get("now"), 10, 64)
-		return time.Duration(ns)
-	}
-	// Content negotiation: JSON by default; the compact binary codec
-	// when the client sends/accepts application/octet-stream (the
-	// cookie-extension deployment's encoding).
-	writeJSON := func(w http.ResponseWriter, r *http.Request, v any) {
-		if r.Header.Get("Accept") == binaryMIME {
-			data, err := protocol.EncodeBinary(v)
-			if err == nil {
-				w.Header().Set("Content-Type", binaryMIME)
-				w.Write(data)
-				return
-			}
-			// Not binary-encodable (e.g. RegistrationResult): fall
-			// through to JSON.
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(v); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	}
-	readJSON := func(w http.ResponseWriter, r *http.Request, v any) bool {
-		if r.Header.Get("Content-Type") == binaryMIME {
-			data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
-			if err != nil {
-				http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-				return false
-			}
-			msg, err := protocol.DecodeBinary(data)
-			if err != nil {
-				http.Error(w, "bad binary body: "+err.Error(), http.StatusBadRequest)
-				return false
-			}
-			if !assignMessage(v, msg) {
-				http.Error(w, "binary body has wrong message type", http.StatusBadRequest)
-				return false
-			}
-			return true
-		}
-		if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-			return false
-		}
-		return true
-	}
-
 	mux.HandleFunc("GET /trust/cert", func(w http.ResponseWriter, r *http.Request) {
-		mu.Lock()
-		defer mu.Unlock()
-		writeJSON(w, r, s.Certificate())
+		writeResponse(w, r, s.Certificate())
 	})
 	mux.HandleFunc("GET /trust/register", func(w http.ResponseWriter, r *http.Request) {
-		mu.Lock()
-		defer mu.Unlock()
-		writeJSON(w, r, s.ServeRegistrationPage(now(r)))
+		writeResponse(w, r, s.ServeRegistrationPage(requestNow(r)))
 	})
 	mux.HandleFunc("POST /trust/register", func(w http.ResponseWriter, r *http.Request) {
-		var sub protocol.RegistrationSubmit
-		if !readJSON(w, r, &sub) {
+		sub, ok := decodeBody[protocol.RegistrationSubmit](w, r)
+		if !ok {
 			return
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		writeJSON(w, r, s.HandleRegistration(now(r), &sub, r.URL.Query().Get("recovery")))
+		writeResponse(w, r, s.HandleRegistration(requestNow(r), sub, r.URL.Query().Get("recovery")))
 	})
 	mux.HandleFunc("GET /trust/login", func(w http.ResponseWriter, r *http.Request) {
-		mu.Lock()
-		defer mu.Unlock()
-		writeJSON(w, r, s.ServeLoginPage(now(r)))
+		writeResponse(w, r, s.ServeLoginPage(requestNow(r)))
 	})
 	mux.HandleFunc("POST /trust/login", func(w http.ResponseWriter, r *http.Request) {
-		var sub protocol.LoginSubmit
-		if !readJSON(w, r, &sub) {
+		sub, ok := decodeBody[protocol.LoginSubmit](w, r)
+		if !ok {
 			return
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		cp, err := s.HandleLogin(now(r), &sub)
+		cp, err := s.HandleLogin(requestNow(r), sub)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusForbidden)
 			return
 		}
-		writeJSON(w, r, cp)
+		writeResponse(w, r, cp)
 	})
 	mux.HandleFunc("POST /trust/page", func(w http.ResponseWriter, r *http.Request) {
-		var req protocol.PageRequest
-		if !readJSON(w, r, &req) {
+		req, ok := decodeBody[protocol.PageRequest](w, r)
+		if !ok {
 			return
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		cp, err := s.HandlePageRequest(now(r), &req)
+		cp, err := s.HandlePageRequest(requestNow(r), req)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusForbidden)
 			return
 		}
-		writeJSON(w, r, cp)
+		writeResponse(w, r, cp)
 	})
 	mux.HandleFunc("GET /trust/audit", func(w http.ResponseWriter, r *http.Request) {
-		mu.Lock()
-		defer mu.Unlock()
 		report := s.RunAudit()
-		writeJSON(w, r, map[string]any{
+		writeResponse(w, r, map[string]any{
 			"checked":  report.Checked,
 			"tampered": report.Tampered,
 		})

@@ -11,7 +11,9 @@ import (
 // couple of content pages reachable via actions. Layouts put the
 // action buttons over the keyboard/thumb band, where sensor placement
 // concentrates (the paper's "display critical buttons or menus over
-// biometric enabled touchscreen regions").
+// biometric enabled touchscreen regions"). Called once from New,
+// before the server is shared; the page URLs set here are immutable
+// afterwards.
 func (s *Server) installDefaultPages() {
 	base := "https://" + s.domain
 	s.regURL = base + "/register"
@@ -79,18 +81,25 @@ func (s *Server) installDefaultPages() {
 // HomeURL returns the post-login landing page URL.
 func (s *Server) HomeURL() string { return s.homeURL }
 
+// page looks up a served page by URL.
+func (s *Server) page(url string) *frame.Page {
+	s.pagesMu.RLock()
+	defer s.pagesMu.RUnlock()
+	return s.pages[url]
+}
+
 // PageForAction maps a request action to the page served next.
 func (s *Server) PageForAction(action string) *frame.Page {
 	base := "https://" + s.domain
 	switch action {
 	case "login", "home", "":
-		return s.pages[s.homeURL]
+		return s.page(s.homeURL)
 	case "view-statement":
-		return s.pages[base+"/statement"]
+		return s.page(base + "/statement")
 	case "transfer", "confirm-transfer":
-		return s.pages[base+"/transfer"]
+		return s.page(base + "/transfer")
 	default:
-		return s.pages[s.homeURL]
+		return s.page(s.homeURL)
 	}
 }
 
@@ -99,6 +108,8 @@ func (s *Server) AddPage(p *frame.Page) error {
 	if p == nil || p.URL == "" {
 		return fmt.Errorf("webserver: invalid page")
 	}
+	s.pagesMu.Lock()
 	s.pages[p.URL] = p
+	s.pagesMu.Unlock()
 	return nil
 }

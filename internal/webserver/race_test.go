@@ -11,9 +11,10 @@ import (
 
 // TestHTTPHandlerConcurrentRequests hammers the handler from many
 // goroutines at once. net/http serves each request on its own
-// goroutine, so this is the access pattern the handler's mutex exists
-// for; run under -race (part of the tier-1 gate) it proves the
-// serialization actually covers every route that touches server state.
+// goroutine with no handler-level lock, so this is the access pattern
+// the sharded stores exist for; run under -race (part of the tier-1
+// gate) it proves the store locks cover every route that touches
+// server state.
 func TestHTTPHandlerConcurrentRequests(t *testing.T) {
 	_, ts := httpRig(t)
 	const goroutines = 8

@@ -3,6 +3,12 @@
 // user's registered public key, nonce management, session keys, a
 // continuous-authentication risk policy applied to every request, and
 // the frame-hash audit log the paper's offline audit inspects.
+//
+// The server is safe for concurrent use: net/http calls the handlers
+// from one goroutine per request, and all mutable state lives in
+// sharded, individually locked stores (store.go) so requests on
+// different sessions and accounts proceed in parallel. See
+// docs/server-scaling.md for the concurrency design.
 package webserver
 
 import (
@@ -10,6 +16,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"trust/internal/frame"
@@ -48,7 +56,9 @@ func (p RiskPolicy) ok(verified, window int) bool {
 	return verified >= need
 }
 
-// Account is one registered user binding.
+// Account is one registered user binding. Fields are immutable after
+// registration, so accounts may be read without holding their shard
+// lock once fetched.
 type Account struct {
 	ID            string
 	PublicKey     ed25519.PublicKey
@@ -59,11 +69,16 @@ type Account struct {
 	RegisteredAt     time.Duration
 }
 
-// session is the server-side session state.
+// session is the server-side session state. id, account, and key are
+// immutable after login; the remaining fields are the per-session
+// mutable state guarded by mu, which serializes requests on ONE
+// session while leaving every other session free to proceed.
 type session struct {
-	id        string
-	account   string
-	key       []byte
+	id      string
+	account string
+	key     []byte
+
+	mu        sync.Mutex
 	lastNonce protocol.Nonce
 	// lastPage is the URL of the page most recently served on this
 	// session — the page the user is viewing when the next request's
@@ -76,34 +91,42 @@ type session struct {
 
 // Server is one TRUST-enabled web service.
 type Server struct {
-	domain  string
-	keys    pki.KeyPair
-	kem     pki.KemPair
-	cert    *pki.Certificate
-	caPub   ed25519.PublicKey
-	entropy *pki.DeterministicRand
+	domain string
+	keys   pki.KeyPair
+	kem    pki.KemPair
+	cert   *pki.Certificate
+	caPub  ed25519.PublicKey
 
-	accounts map[string]*Account
-	sessions map[string]*session
-	nonces   map[protocol.Nonce]bool // issued and not yet consumed
-	pages    map[string]*frame.Page  // served pages by URL
+	// entropy is the deterministic randomness stream for nonces and
+	// session ids; entropyMu keeps concurrent draws from interleaving
+	// mid-value. Single-threaded callers observe the exact same byte
+	// sequence as before the stores were sharded.
+	entropyMu sync.Mutex
+	entropy   *pki.DeterministicRand
+
+	accounts *accountStore
+	sessions *sessionStore
+	nonces   *nonceStore
+
+	pagesMu  sync.RWMutex
+	pages    map[string]*frame.Page // served pages by URL
 	homeURL  string
 	loginURL string
 	regURL   string
 
-	policy   RiskPolicy
+	policy   atomic.Pointer[RiskPolicy]
 	audit    frame.AuditLog
 	screenPX float64
 
-	// failedLogins tracks per-account login failures for rate limiting;
-	// accounts lock after MaxLoginFailures until ResetIdentity or a
-	// successful login within the budget.
-	failedLogins     map[string]int
+	// MaxLoginFailures is the per-account failure budget; accounts lock
+	// after this many failures until ResetIdentity or a successful
+	// login within the budget. Set it before serving traffic.
 	MaxLoginFailures int
 
-	// Counters for the experiment harness.
-	RejectedRequests int
-	AcceptedRequests int
+	// Counters for the experiment harness (atomics: every handler
+	// bumps one, concurrently under net/http).
+	rejected atomic.Int64
+	accepted atomic.Int64
 }
 
 // New creates a server for domain with a certificate from ca.
@@ -128,15 +151,14 @@ func New(domain string, ca *pki.CA, seed uint64) (*Server, error) {
 		cert:             cert,
 		caPub:            ca.PublicKey(),
 		entropy:          entropy,
-		accounts:         make(map[string]*Account),
-		sessions:         make(map[string]*session),
-		nonces:           make(map[protocol.Nonce]bool),
+		accounts:         newAccountStore(),
+		sessions:         newSessionStore(),
+		nonces:           newNonceStore(DefaultNonceTTL, DefaultNonceCapacity),
 		pages:            make(map[string]*frame.Page),
-		policy:           DefaultRiskPolicy(),
 		screenPX:         800,
-		failedLogins:     make(map[string]int),
 		MaxLoginFailures: 10,
 	}
+	s.SetRiskPolicy(DefaultRiskPolicy())
 	s.installDefaultPages()
 	return s, nil
 }
@@ -148,16 +170,20 @@ func (s *Server) Domain() string { return s.domain }
 func (s *Server) Certificate() *pki.Certificate { return s.cert.Clone() }
 
 // SetRiskPolicy overrides the continuous-auth policy.
-func (s *Server) SetRiskPolicy(p RiskPolicy) { s.policy = p }
+func (s *Server) SetRiskPolicy(p RiskPolicy) { s.policy.Store(&p) }
+
+// riskPolicy returns the active policy.
+func (s *Server) riskPolicy() RiskPolicy { return *s.policy.Load() }
 
 // Account returns a registered account, if any.
 func (s *Server) Account(id string) (*Account, bool) {
-	a, ok := s.accounts[id]
-	return a, ok
+	return s.accounts.get(id)
 }
 
 // Pages returns the served pages keyed by URL (the audit input).
 func (s *Server) Pages() map[string]*frame.Page {
+	s.pagesMu.RLock()
+	defer s.pagesMu.RUnlock()
 	out := make(map[string]*frame.Page, len(s.pages))
 	for k, v := range s.pages {
 		out[k] = v
@@ -174,23 +200,54 @@ func (s *Server) RunAudit() frame.AuditReport {
 	return frame.Audit(&s.audit, s.Pages(), s.screenPX)
 }
 
-// newNonce mints a fresh single-use nonce.
-func (s *Server) newNonce() protocol.Nonce {
-	b := make([]byte, 16)
-	s.entropy.Read(b)
-	n := protocol.Nonce(hex.EncodeToString(b))
-	s.nonces[n] = true
+// AcceptedRequests reports how many requests the handlers accepted.
+func (s *Server) AcceptedRequests() int { return int(s.accepted.Load()) }
+
+// RejectedRequests reports how many requests the handlers rejected.
+func (s *Server) RejectedRequests() int { return int(s.rejected.Load()) }
+
+// NonceCount reports the live (issued, unconsumed, unexpired-at-issue)
+// nonce count — bounded by the store's capacity.
+func (s *Server) NonceCount() int { return s.nonces.len() }
+
+// SessionCount reports the number of established sessions.
+func (s *Server) SessionCount() int { return s.sessions.len() }
+
+// SetNonceLimits replaces the nonce store's TTL (virtual time) and
+// total capacity. Call before serving traffic: outstanding nonces are
+// dropped.
+func (s *Server) SetNonceLimits(ttl time.Duration, capacity int) {
+	s.nonces = newNonceStore(ttl, capacity)
+}
+
+// mintNonce draws a fresh nonce value from the entropy stream without
+// registering it for consumption — session-echo nonces (rotated on
+// every content page, validated against the session's lastNonce) never
+// enter the consumable store, so the page-request hot path does not
+// touch it.
+func (s *Server) mintNonce() protocol.Nonce {
+	var b [16]byte
+	s.entropyMu.Lock()
+	s.entropy.Read(b[:])
+	s.entropyMu.Unlock()
+	return protocol.Nonce(hex.EncodeToString(b[:]))
+}
+
+// newNonce mints a fresh single-use nonce and registers it for a
+// future consume (registration and login pages).
+func (s *Server) newNonce(now time.Duration) protocol.Nonce {
+	n := s.mintNonce()
+	s.nonces.issue(n, now)
 	return n
 }
 
-// consumeNonce validates and burns a nonce; replayed or unknown nonces
-// fail.
-func (s *Server) consumeNonce(n protocol.Nonce) bool {
-	if !s.nonces[n] {
-		return false
-	}
-	delete(s.nonces, n)
-	return true
+// newSessionID draws a fresh session identifier.
+func (s *Server) newSessionID() string {
+	var b [12]byte
+	s.entropyMu.Lock()
+	s.entropy.Read(b[:])
+	s.entropyMu.Unlock()
+	return hex.EncodeToString(b[:])
 }
 
 func (s *Server) sign(data []byte) []byte {

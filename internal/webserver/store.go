@@ -1,0 +1,293 @@
+package webserver
+
+import (
+	"sync"
+	"time"
+
+	"trust/internal/protocol"
+)
+
+// Sharded state stores. The server's hot path (HandlePageRequest /
+// HandleLogin) runs on net/http's per-request goroutines, so every
+// piece of mutable state lives in one of the stores below: a
+// power-of-two number of shards, each with its own lock, selected by an
+// FNV-1a hash of the key. Two requests touching different keys contend
+// only when they hash to the same shard; two requests on the same
+// session serialize on that session's own mutex, never on a global
+// one. docs/server-scaling.md describes the full lock hierarchy.
+
+// numShards is the shard count shared by the session, account, and
+// nonce stores. Power of two so the hash folds with a mask.
+const numShards = 16
+
+// shardIndex maps a key to its shard with FNV-1a (inlined to keep the
+// lookup allocation-free).
+func shardIndex(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h & (numShards - 1)
+}
+
+// sessionStore holds live sessions keyed by session id. The store's
+// shard locks cover only the map; per-session mutable state (nonce
+// echo, request count, revocation) is guarded by the session's own
+// mutex so two sessions never contend with each other.
+type sessionStore struct {
+	shards [numShards]sessionShard
+}
+
+type sessionShard struct {
+	mu sync.RWMutex
+	m  map[string]*session
+}
+
+func newSessionStore() *sessionStore {
+	st := &sessionStore{}
+	for i := range st.shards {
+		st.shards[i].m = make(map[string]*session)
+	}
+	return st
+}
+
+func (st *sessionStore) get(id string) (*session, bool) {
+	sh := &st.shards[shardIndex(id)]
+	sh.mu.RLock()
+	s, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+func (st *sessionStore) put(s *session) {
+	sh := &st.shards[shardIndex(s.id)]
+	sh.mu.Lock()
+	sh.m[s.id] = s
+	sh.mu.Unlock()
+}
+
+func (st *sessionStore) len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// forEach visits every live session. The visit callback runs with the
+// shard read-locked, so it must not call back into the store; locking
+// the visited session inside the callback is part of the documented
+// lock order (shard lock, then session lock).
+func (st *sessionStore) forEach(visit func(*session)) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			visit(s)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// accountStore holds registered accounts and the per-account login
+// failure counters, sharded by account id. The failure counter shares
+// its account's shard so a claim/remove and its counter update never
+// race across locks.
+type accountStore struct {
+	shards [numShards]accountShard
+}
+
+type accountShard struct {
+	mu       sync.RWMutex
+	accounts map[string]*Account
+	failures map[string]int
+}
+
+func newAccountStore() *accountStore {
+	st := &accountStore{}
+	for i := range st.shards {
+		st.shards[i].accounts = make(map[string]*Account)
+		st.shards[i].failures = make(map[string]int)
+	}
+	return st
+}
+
+func (st *accountStore) get(id string) (*Account, bool) {
+	sh := &st.shards[shardIndex(id)]
+	sh.mu.RLock()
+	a, ok := sh.accounts[id]
+	sh.mu.RUnlock()
+	return a, ok
+}
+
+// claim atomically binds an account, failing when the id is already
+// bound to a key (the paper's first-writer-wins account binding).
+func (st *accountStore) claim(a *Account) bool {
+	sh := &st.shards[shardIndex(a.ID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.accounts[a.ID]; ok && len(old.PublicKey) != 0 {
+		return false
+	}
+	sh.accounts[a.ID] = a
+	return true
+}
+
+// remove deletes the binding and its failure counter.
+func (st *accountStore) remove(id string) {
+	sh := &st.shards[shardIndex(id)]
+	sh.mu.Lock()
+	delete(sh.accounts, id)
+	delete(sh.failures, id)
+	sh.mu.Unlock()
+}
+
+func (st *accountStore) failures(id string) int {
+	sh := &st.shards[shardIndex(id)]
+	sh.mu.RLock()
+	n := sh.failures[id]
+	sh.mu.RUnlock()
+	return n
+}
+
+func (st *accountStore) addFailure(id string) {
+	sh := &st.shards[shardIndex(id)]
+	sh.mu.Lock()
+	sh.failures[id]++
+	sh.mu.Unlock()
+}
+
+func (st *accountStore) clearFailures(id string) {
+	sh := &st.shards[shardIndex(id)]
+	sh.mu.Lock()
+	delete(sh.failures, id)
+	sh.mu.Unlock()
+}
+
+func (st *accountStore) len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.accounts)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Nonce lifetime bounds. Issued-but-abandoned nonces used to
+// accumulate forever (every served login/registration page minted one;
+// only completed flows consumed it). The store now expires nonces
+// after a virtual-time TTL and enforces a hard capacity, evicting
+// oldest-first — both deterministic functions of the operation
+// sequence, so single-threaded harness runs stay byte-identical.
+const (
+	// DefaultNonceTTL is generous against the virtual clocks the
+	// simulations drive: flows serve a page and consume its nonce
+	// within seconds of virtual time.
+	DefaultNonceTTL = 10 * time.Minute
+	// DefaultNonceCapacity bounds the total live nonces across shards.
+	DefaultNonceCapacity = 8192
+)
+
+// nonceStore tracks issued and not-yet-consumed nonces with TTL and
+// capacity bounds.
+type nonceStore struct {
+	ttl      time.Duration
+	perShard int
+	shards   [numShards]nonceShard
+}
+
+type nonceEntry struct {
+	n  protocol.Nonce
+	at time.Duration
+}
+
+type nonceShard struct {
+	mu sync.Mutex
+	m  map[protocol.Nonce]time.Duration // nonce -> virtual issue time
+	// q records issue order for FIFO eviction. Consumed nonces leave
+	// stale entries behind; they are skipped (and compacted) lazily.
+	q    []nonceEntry
+	head int
+}
+
+func newNonceStore(ttl time.Duration, capacity int) *nonceStore {
+	per := capacity / numShards
+	if per < 1 {
+		per = 1
+	}
+	st := &nonceStore{ttl: ttl, perShard: per}
+	for i := range st.shards {
+		st.shards[i].m = make(map[protocol.Nonce]time.Duration)
+	}
+	return st
+}
+
+// issue registers a freshly minted nonce, first evicting expired and
+// over-capacity entries oldest-first.
+func (st *nonceStore) issue(n protocol.Nonce, now time.Duration) {
+	sh := &st.shards[shardIndex(string(n))]
+	sh.mu.Lock()
+	sh.evict(now, st.ttl, st.perShard-1)
+	sh.m[n] = now
+	sh.q = append(sh.q, nonceEntry{n: n, at: now})
+	sh.mu.Unlock()
+}
+
+// consume validates and burns a nonce; replayed, unknown, or expired
+// nonces fail.
+func (st *nonceStore) consume(n protocol.Nonce, now time.Duration) bool {
+	sh := &st.shards[shardIndex(string(n))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	at, ok := sh.m[n]
+	if !ok || now-at > st.ttl {
+		return false
+	}
+	delete(sh.m, n)
+	return true
+}
+
+func (st *nonceStore) len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// evict drops queue-front entries that are stale (already consumed),
+// expired, or over the live capacity, then compacts the queue once the
+// dead prefix dominates. Called with the shard locked.
+func (sh *nonceShard) evict(now, ttl time.Duration, maxLive int) {
+	for sh.head < len(sh.q) {
+		e := sh.q[sh.head]
+		at, live := sh.m[e.n]
+		if live && at == e.at {
+			if now-e.at <= ttl && len(sh.m) <= maxLive {
+				break
+			}
+			delete(sh.m, e.n)
+		}
+		sh.head++
+	}
+	if sh.head == len(sh.q) {
+		sh.q = sh.q[:0]
+		sh.head = 0
+	} else if sh.head > len(sh.q)/2 && sh.head > 32 {
+		sh.q = append(sh.q[:0], sh.q[sh.head:]...)
+		sh.head = 0
+	}
+}

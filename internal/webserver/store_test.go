@@ -1,0 +1,242 @@
+package webserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"trust/internal/protocol"
+)
+
+func testNonce(i int) protocol.Nonce {
+	return protocol.Nonce(fmt.Sprintf("nonce-%06d", i))
+}
+
+func TestNonceStoreTTLExpiry(t *testing.T) {
+	st := newNonceStore(time.Minute, 1024)
+	st.issue(testNonce(0), 0)
+	// Within the TTL: consumable once.
+	if !st.consume(testNonce(0), 30*time.Second) {
+		t.Fatal("fresh nonce rejected")
+	}
+	if st.consume(testNonce(0), 30*time.Second) {
+		t.Fatal("replayed nonce accepted")
+	}
+	// Past the TTL: rejected even though never consumed.
+	st.issue(testNonce(1), 0)
+	if st.consume(testNonce(1), 2*time.Minute) {
+		t.Fatal("expired nonce accepted")
+	}
+}
+
+func TestNonceStoreExpiredEntriesEvictedOnIssue(t *testing.T) {
+	st := newNonceStore(time.Minute, 1024)
+	for i := 0; i < 100; i++ {
+		st.issue(testNonce(i), 0)
+	}
+	if n := st.len(); n != 100 {
+		t.Fatalf("live nonces = %d, want 100", n)
+	}
+	// Issuing past the TTL sweeps the expired generation out of every
+	// shard the new issues land in (eviction is lazy, per shard).
+	for i := 100; i < 300; i++ {
+		st.issue(testNonce(i), 5*time.Minute)
+	}
+	if n := st.len(); n >= 300 {
+		t.Fatalf("live nonces after expiry sweep = %d, expired generation never evicted", n)
+	}
+	if st.consume(testNonce(50), 5*time.Minute) {
+		t.Fatal("expired nonce consumable after sweep")
+	}
+	if !st.consume(testNonce(299), 5*time.Minute) {
+		t.Fatal("fresh nonce evicted by sweep")
+	}
+}
+
+func TestNonceStoreCapacityBound(t *testing.T) {
+	const capacity = 64
+	st := newNonceStore(time.Hour, capacity)
+	for i := 0; i < 10_000; i++ {
+		st.issue(testNonce(i), 0)
+	}
+	if n := st.len(); n > capacity {
+		t.Fatalf("live nonces = %d, exceeds capacity %d", n, capacity)
+	}
+	// Eviction is oldest-first: the most recently issued nonce must
+	// still be live, the first long gone.
+	if st.consume(testNonce(0), 0) {
+		t.Fatal("oldest nonce survived capacity eviction")
+	}
+	if !st.consume(testNonce(9_999), 0) {
+		t.Fatal("newest nonce evicted")
+	}
+}
+
+func TestNonceStoreDeterministicEviction(t *testing.T) {
+	// The store's state must be a pure function of the operation
+	// sequence (no map-iteration-order dependence): two stores fed the
+	// same interleaved issue/consume sequence agree on every nonce.
+	run := func() (*nonceStore, []bool) {
+		st := newNonceStore(time.Minute, 32)
+		var consumed []bool
+		for i := 0; i < 500; i++ {
+			st.issue(testNonce(i), time.Duration(i)*time.Second)
+			if i%3 == 0 {
+				consumed = append(consumed, st.consume(testNonce(i/2), time.Duration(i)*time.Second))
+			}
+		}
+		return st, consumed
+	}
+	a, ca := run()
+	b, cb := run()
+	if a.len() != b.len() {
+		t.Fatalf("live counts diverge: %d vs %d", a.len(), b.len())
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("consume result %d diverges: %v vs %v", i, ca[i], cb[i])
+		}
+	}
+	for i := 0; i < 500; i++ {
+		ra := a.consume(testNonce(i), 500*time.Second)
+		rb := b.consume(testNonce(i), 500*time.Second)
+		if ra != rb {
+			t.Fatalf("final state diverges at nonce %d: %v vs %v", i, ra, rb)
+		}
+	}
+}
+
+// TestServeLoginPageNonceBounded is the regression test for the
+// unbounded nonce leak: issued-but-abandoned nonces used to accumulate
+// forever. Hammer the login page without ever completing a login and
+// assert the live set stays within the configured capacity.
+func TestServeLoginPageNonceBounded(t *testing.T) {
+	r := newRig(t)
+	const capacity = 64
+	r.server.SetNonceLimits(DefaultNonceTTL, capacity)
+	for i := 0; i < 2_000; i++ {
+		if lp := r.server.ServeLoginPage(r.now); lp.Nonce == "" {
+			t.Fatal("empty nonce")
+		}
+		r.now += time.Millisecond
+	}
+	if n := r.server.NonceCount(); n > capacity {
+		t.Fatalf("live nonces = %d after abandoned logins, capacity %d", n, capacity)
+	}
+	// The freshest nonces are the surviving ones: a full flow still
+	// works immediately after the flood.
+	r.register(t, "post-flood-acct")
+	if _, cp := r.login(t, "post-flood-acct"); cp == nil {
+		t.Fatal("login failed after nonce flood")
+	}
+}
+
+func TestSessionStoreRace(t *testing.T) {
+	st := newSessionStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("sess-%d-%d", g, i)
+				st.put(&session{id: id, account: "acct"})
+				if _, ok := st.get(id); !ok {
+					t.Errorf("session %s lost", id)
+					return
+				}
+				st.forEach(func(s *session) {
+					s.mu.Lock()
+					_ = s.revoked
+					s.mu.Unlock()
+				})
+				_ = st.len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := st.len(); n != 8*200 {
+		t.Fatalf("store holds %d sessions, want %d", n, 8*200)
+	}
+}
+
+func TestAccountStoreRace(t *testing.T) {
+	st := newAccountStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("acct-%d-%d", g, i)
+				if !st.claim(&Account{ID: id, PublicKey: []byte{1}}) {
+					t.Errorf("claim of fresh id %s failed", id)
+					return
+				}
+				st.addFailure(id)
+				if st.failures(id) < 1 {
+					t.Errorf("failure count lost for %s", id)
+					return
+				}
+				st.clearFailures(id)
+				if _, ok := st.get(id); !ok {
+					t.Errorf("account %s lost", id)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestAccountStoreClaimIsFirstWriterWins(t *testing.T) {
+	st := newAccountStore()
+	const contenders = 8
+	var wg sync.WaitGroup
+	wins := make([]bool, contenders)
+	for g := 0; g < contenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			wins[g] = st.claim(&Account{ID: "contested", PublicKey: []byte{byte(g + 1)}})
+		}(g)
+	}
+	wg.Wait()
+	won := 0
+	for _, w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d of %d concurrent claims won, want exactly 1", won, contenders)
+	}
+}
+
+func TestNonceStoreRace(t *testing.T) {
+	st := newNonceStore(time.Hour, 4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := protocol.Nonce(fmt.Sprintf("race-%d-%d", g, i))
+				st.issue(n, time.Duration(i))
+				if !st.consume(n, time.Duration(i)) {
+					t.Errorf("own nonce %s not consumable", n)
+					return
+				}
+				if st.consume(n, time.Duration(i)) {
+					t.Errorf("nonce %s double-consumed", n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := st.len(); n != 0 {
+		t.Fatalf("store holds %d nonces after full consumption", n)
+	}
+}
