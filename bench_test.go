@@ -170,6 +170,11 @@ func BenchmarkPersonalization(b *testing.B) {
 	benchArtifact(b, func() (harness.Result, error) { return harness.XPersonalization(harness.Seed) })
 }
 
+// BenchmarkChaos regenerates the lossy-network chaos sweep (X14).
+func BenchmarkChaos(b *testing.B) {
+	benchArtifact(b, func() (harness.Result, error) { return harness.XChaos(harness.Seed) })
+}
+
 // BenchmarkTrustlint measures the wall time of the full static-analysis
 // sweep (cmd/trustlint over every package in the module), so analyzer
 // cost is tracked in BENCH_harness.json like the artifact generators.

@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"trust/internal/analysis"
+	"trust/internal/device"
 	"trust/internal/harness"
 	"trust/internal/loadgen"
 )
@@ -30,7 +31,7 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		table    = flag.Int("table", 0, "regenerate Table N (1 or 2)")
 		fig      = flag.Int("fig", 0, "regenerate Figure N (1..10)")
-		ext      = flag.String("x", "", "extension experiment: placement|window|attacks|energy|frameaudit|transfer|fuzzyvault|modalities|hijack|imagepipeline|adaptation|noise|personalization")
+		ext      = flag.String("x", "", "extension experiment: placement|window|attacks|energy|frameaudit|transfer|fuzzyvault|modalities|hijack|imagepipeline|adaptation|noise|personalization|chaos")
 		seed     = flag.Uint64("seed", harness.Seed, "deterministic experiment seed")
 		out      = flag.String("out", "", "also write each artifact to <out>/<id>.txt")
 		jsonPath   = flag.String("json", "", "measure every artifact generator and write {name: {ns_per_op, allocs_per_op}} to the given file ('' = off; '-' = BENCH_harness.json)")
@@ -122,6 +123,7 @@ func main() {
 			"adaptation":      func() (harness.Result, error) { return harness.XAdaptation(*seed) },
 			"noise":           func() (harness.Result, error) { return harness.XNoise(*seed) },
 			"personalization": func() (harness.Result, error) { return harness.XPersonalization(*seed) },
+			"chaos":           func() (harness.Result, error) { return harness.XChaos(*seed) },
 		}
 		gen, ok := gens[*ext]
 		if !ok {
@@ -153,6 +155,13 @@ func writeServerJSON(path string, seed uint64) error {
 		{Devices: 8, Transport: loadgen.Direct, Mode: loadgen.Login, Seed: seed},
 		{Devices: 8, Transport: loadgen.HTTPJSON, Mode: loadgen.PageRequest, Seed: seed},
 		{Devices: 8, Transport: loadgen.HTTPBinary, Mode: loadgen.PageRequest, Seed: seed},
+		// Lossy-network rows: each message direction drops at 20%, the
+		// resilient client retries with a 4-attempt budget. The delta
+		// against the clean rows above is the resilience overhead.
+		{Devices: 8, Transport: loadgen.Direct, Mode: loadgen.PageRequest, Seed: seed,
+			Faults: device.FaultProfile{DropRate: 0.2}, RetryAttempts: 4},
+		{Devices: 8, Transport: loadgen.HTTPBinary, Mode: loadgen.PageRequest, Seed: seed,
+			Faults: device.FaultProfile{DropRate: 0.2}, RetryAttempts: 4},
 	}
 	var results []loadgen.Result
 	for _, cfg := range configs {
@@ -212,6 +221,7 @@ func writeBenchJSON(path string, seed uint64) error {
 		{"Adaptation", func() (harness.Result, error) { return harness.XAdaptation(seed) }},
 		{"Noise", func() (harness.Result, error) { return harness.XNoise(seed) }},
 		{"Personalization", func() (harness.Result, error) { return harness.XPersonalization(seed) }},
+		{"Chaos", func() (harness.Result, error) { return harness.XChaos(seed) }},
 	}
 	// Fail on an unwritable path before spending minutes measuring.
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)

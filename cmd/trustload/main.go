@@ -9,6 +9,7 @@
 //	trustload                              # page requests, direct, 1 and 8 devices
 //	trustload -devices 1,4,16 -transport binary
 //	trustload -mode login -devices 8
+//	trustload -faults 0.2 -retries 4       # 20% loss each way, 4-attempt budget
 //	trustload -json BENCH_server.json      # machine-readable report
 package main
 
@@ -20,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"trust/internal/device"
 	"trust/internal/loadgen"
 )
 
@@ -30,8 +32,18 @@ func main() {
 		mode      = flag.String("mode", "page", "operation: page|login")
 		seed      = flag.Uint64("seed", 1, "deterministic fleet seed")
 		jsonPath  = flag.String("json", "", "also write the report as JSON to the given file")
+		faults    = flag.Float64("faults", 0, "per-direction message drop rate on the measured traffic (0..1)")
+		retries   = flag.Int("retries", 0, "retry budget per operation (required with -faults)")
 	)
 	flag.Parse()
+	if *faults < 0 || *faults >= 1 {
+		fmt.Fprintf(os.Stderr, "trustload: -faults %v outside [0, 1)\n", *faults)
+		os.Exit(2)
+	}
+	if *faults > 0 && *retries < 1 {
+		fmt.Fprintln(os.Stderr, "trustload: -faults needs -retries >= 1 (lossy ops would abort the run)")
+		os.Exit(2)
+	}
 
 	tr, ok := map[string]loadgen.Transport{
 		"direct": loadgen.Direct,
@@ -64,7 +76,11 @@ func main() {
 	var results []loadgen.Result
 	fmt.Printf("%-28s %10s %12s %10s %10s %8s\n", "scenario", "ops", "ops/sec", "p50", "p99", "allocs")
 	for _, n := range counts {
-		res, err := loadgen.Run(loadgen.Config{Devices: n, Transport: tr, Mode: md, Seed: *seed})
+		res, err := loadgen.Run(loadgen.Config{
+			Devices: n, Transport: tr, Mode: md, Seed: *seed,
+			Faults:        device.FaultProfile{DropRate: *faults},
+			RetryAttempts: *retries,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trustload: %v\n", err)
 			os.Exit(1)

@@ -18,17 +18,20 @@ import (
 	"trust/internal/frame"
 	"trust/internal/pki"
 	"trust/internal/protocol"
+	"trust/internal/sim"
 	"trust/internal/touch"
 )
 
 // Transport moves protocol messages to a server. Implementations:
-// InMemory (direct calls) and HTTP (net/http loopback).
+// InMemory (direct calls), HTTP (net/http loopback), and
+// FaultyTransport (a deterministic lossy-network wrapper around either).
 type Transport interface {
 	FetchRegistrationPage(now time.Duration) (*protocol.RegistrationPage, error)
 	SubmitRegistration(now time.Duration, sub *protocol.RegistrationSubmit, recovery string) (protocol.RegistrationResult, error)
 	FetchLoginPage(now time.Duration) (*protocol.LoginPage, error)
 	SubmitLogin(now time.Duration, sub *protocol.LoginSubmit) (*protocol.ContentPage, error)
 	SubmitPageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error)
+	SubmitResync(now time.Duration, req *protocol.ResyncRequest) (*protocol.ContentPage, error)
 }
 
 // Malware models a compromised browser / software stack. A nil Malware
@@ -59,6 +62,17 @@ type Device struct {
 	view      frame.View
 	// RiskWindow is the risk-factor window reported to servers.
 	RiskWindow int
+
+	// Retry, when non-nil, makes the *Resilient flows retry retryable
+	// transport faults with capped exponential backoff in virtual time
+	// (see retry.go). nil keeps the historical fail-fast behavior.
+	Retry *RetryPolicy
+	// retryRNG supplies the deterministic backoff jitter.
+	retryRNG *sim.RNG
+	// degraded marks the device as serving from local cache under the
+	// module's local continuous auth after the server became
+	// unreachable (the paper's local-mode fallback).
+	degraded bool
 }
 
 // New assembles a device around a module and a transport.

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"net/url"
 	"time"
 
 	"trust/internal/protocol"
+	"trust/internal/webserver"
 )
 
 // HTTP is the Transport implementation speaking to a webserver.Handler
@@ -44,7 +46,9 @@ func (t *HTTP) get(path string, now time.Duration, out any) error {
 	}
 	resp, err := t.client().Do(req)
 	if err != nil {
-		return err
+		// Socket-level failures are the retryable class: the request may
+		// or may not have reached the server (see retry.go).
+		return fmt.Errorf("%w: GET %s: %v", ErrNetwork, path, err)
 	}
 	defer resp.Body.Close()
 	return t.decodeResponse(resp, out)
@@ -78,19 +82,49 @@ func (t *HTTP) post(path string, now time.Duration, extra url.Values, in, out an
 	}
 	resp, err := t.client().Do(req)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: POST %s: %v", ErrNetwork, path, err)
 	}
 	defer resp.Body.Close()
 	return t.decodeResponse(resp, out)
 }
 
+// maxResponseBytes caps how much of a server response the device will
+// buffer. Oversized bodies are rejected with ErrResponseTooLarge
+// instead of being silently truncated into a confusing decode error.
+const maxResponseBytes = 1 << 20
+
+// ErrResponseTooLarge reports a response body over maxResponseBytes.
+var ErrResponseTooLarge = fmt.Errorf("device: response body exceeds %d-byte cap", maxResponseBytes)
+
+// readBody buffers a response body, failing cleanly on oversize.
+func readBody(r io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxResponseBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxResponseBytes {
+		return nil, ErrResponseTooLarge
+	}
+	return data, nil
+}
+
 func (t *HTTP) decodeResponse(resp *http.Response, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		// Round-trip the server's typed rejection so errors.Is sees the
+		// same sentinel either transport would surface (the retry
+		// layer's retryable/terminal split depends on it).
+		if base := webserver.ErrorFromCode(resp.Header.Get(webserver.ErrorHeader)); base != nil {
+			return fmt.Errorf("device: server returned %s: %w", resp.Status, base)
+		}
 		return fmt.Errorf("device: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
-	if resp.Header.Get("Content-Type") == binaryMIME {
-		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	// Parse the media type properly: a parameterized
+	// "application/octet-stream; charset=..." must still select the
+	// binary decoder, not fall through to JSON.
+	ct, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if ct == binaryMIME {
+		data, err := readBody(resp.Body)
 		if err != nil {
 			return err
 		}
@@ -117,7 +151,11 @@ func (t *HTTP) decodeResponse(resp *http.Response, out any) error {
 		}
 		return fmt.Errorf("device: binary response has unexpected type %T", msg)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	data, err := readBody(resp.Body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, out)
 }
 
 // FetchRegistrationPage implements Transport.
@@ -158,6 +196,15 @@ func (t *HTTP) SubmitLogin(now time.Duration, sub *protocol.LoginSubmit) (*proto
 func (t *HTTP) SubmitPageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
 	var cp protocol.ContentPage
 	if err := t.post("/trust/page", now, nil, req, &cp); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
+// SubmitResync implements Transport.
+func (t *HTTP) SubmitResync(now time.Duration, req *protocol.ResyncRequest) (*protocol.ContentPage, error) {
+	var cp protocol.ContentPage
+	if err := t.post("/trust/resync", now, nil, req, &cp); err != nil {
 		return nil, err
 	}
 	return &cp, nil

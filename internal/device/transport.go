@@ -50,8 +50,7 @@ func (t *InMemory) FetchLoginPage(now time.Duration) (*protocol.LoginPage, error
 // SubmitLogin implements Transport.
 func (t *InMemory) SubmitLogin(now time.Duration, sub *protocol.LoginSubmit) (*protocol.ContentPage, error) {
 	if t.Interceptor != nil {
-		cp := *sub
-		t.Interceptor.CapturedLogin = &cp
+		t.Interceptor.CapturedLogin = cloneLoginSubmit(sub)
 		if t.Interceptor.OnLoginSubmit != nil {
 			sub = t.Interceptor.OnLoginSubmit(sub)
 		}
@@ -62,11 +61,35 @@ func (t *InMemory) SubmitLogin(now time.Duration, sub *protocol.LoginSubmit) (*p
 // SubmitPageRequest implements Transport.
 func (t *InMemory) SubmitPageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
 	if t.Interceptor != nil {
-		cp := *req
-		t.Interceptor.CapturedRequests = append(t.Interceptor.CapturedRequests, &cp)
+		t.Interceptor.CapturedRequests = append(t.Interceptor.CapturedRequests, clonePageRequest(req))
 		if t.Interceptor.OnPageRequest != nil {
 			req = t.Interceptor.OnPageRequest(req)
 		}
 	}
 	return t.Server.HandlePageRequest(now, req)
+}
+
+// SubmitResync implements Transport.
+func (t *InMemory) SubmitResync(now time.Duration, req *protocol.ResyncRequest) (*protocol.ContentPage, error) {
+	return t.Server.HandleResync(now, req)
+}
+
+// cloneLoginSubmit deep-copies a captured submission. A shallow struct
+// copy would alias the live message's byte slices, so a tamper hook (or
+// the client reusing a buffer) could silently rewrite the "captured"
+// replay traffic after the fact.
+func cloneLoginSubmit(sub *protocol.LoginSubmit) *protocol.LoginSubmit {
+	cp := *sub
+	cp.SessionKeyCT = append([]byte(nil), sub.SessionKeyCT...)
+	cp.Signature = append([]byte(nil), sub.Signature...)
+	cp.MAC = append([]byte(nil), sub.MAC...)
+	return &cp
+}
+
+// clonePageRequest deep-copies a captured page request (see
+// cloneLoginSubmit for why the slices must not be aliased).
+func clonePageRequest(req *protocol.PageRequest) *protocol.PageRequest {
+	cp := *req
+	cp.MAC = append([]byte(nil), req.MAC...)
+	return &cp
 }

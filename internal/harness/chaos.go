@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"trust/internal/device"
+	"trust/internal/fingerprint"
+	"trust/internal/flock"
+	"trust/internal/geom"
+	"trust/internal/pki"
+	"trust/internal/placement"
+	"trust/internal/sim"
+	"trust/internal/touch"
+	"trust/internal/webserver"
+)
+
+// XChaos sweeps network drop rate against retry budget and reports how
+// the continuous-auth session fares: the fraction of interactions the
+// server actually acknowledged, how often the device fell back to its
+// local degraded mode, and the virtual-time cost of recovering an
+// interrupted round. Every trial is seeded independently, so the whole
+// grid fans out through the sweep engine and the artifact is
+// byte-identical at any worker count.
+func XChaos(seed uint64) (Result, error) {
+	drops := []float64{0, 0.15, 0.3, 0.45}
+	budgets := []int{1, 2, 4, 8}
+	const (
+		trials = 3
+		rounds = 10
+	)
+
+	type cell struct{ drop float64; budget int }
+	var cells []cell
+	for _, d := range drops {
+		for _, b := range budgets {
+			cells = append(cells, cell{d, b})
+		}
+	}
+
+	outs, err := sim.ParMap(len(cells)*trials, func(idx int) (chaosTrialOut, error) {
+		c, trial := cells[idx/trials], idx%trials
+		trialSeed := seed + uint64(idx*131+trial)
+		return chaosTrial(trialSeed, c.drop, c.budget, rounds)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	var rows [][]string
+	metrics := map[string]float64{}
+	for ci, c := range cells {
+		var agg chaosTrialOut
+		for t := 0; t < trials; t++ {
+			o := outs[ci*trials+t]
+			agg.acked += o.acked
+			agg.degraded += o.degraded
+			agg.retries += o.retries
+			agg.recovery += o.recovery
+			agg.recovered += o.recovered
+			if o.failed {
+				agg.failed = true
+			}
+		}
+		total := trials * rounds
+		ackedFrac := float64(agg.acked) / float64(total)
+		meanRecovery := 0.0
+		if agg.recovered > 0 {
+			meanRecovery = float64(agg.recovery.Milliseconds()) / float64(agg.recovered)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", c.drop*100),
+			fmt.Sprintf("%d", c.budget),
+			fmt.Sprintf("%.1f%%", ackedFrac*100),
+			fmt.Sprintf("%.1f%%", float64(agg.degraded)/float64(total)*100),
+			fmt.Sprintf("%.2f", float64(agg.retries)/float64(total)),
+			fmt.Sprintf("%.1f ms", meanRecovery),
+		})
+		metrics[fmt.Sprintf("acked_drop%.0f_budget%d", c.drop*100, c.budget)] = ackedFrac
+	}
+	text := fmtTable([]string{"drop rate", "retry budget", "server-acked", "degraded rounds", "retries/round", "mean recovery"}, rows)
+	return Result{
+		ID:      "x-chaos",
+		Title:   "Lossy-network chaos sweep: session survival vs retry budget (X14)",
+		Text:    text,
+		Metrics: metrics,
+	}, nil
+}
+
+// chaosTrialOut is one trial's tallies.
+type chaosTrialOut struct {
+	acked, degraded int
+	retries         int           // deliveries beyond the first, summed
+	recovery        time.Duration // backoff spent on recovered rounds
+	recovered       int           // rounds that needed >1 delivery yet acked
+	failed          bool          // a round died terminally
+}
+
+// chaosTrial builds one device+server pair, establishes a session over
+// a clean link, then runs the continuous-auth rounds over a link with
+// the given drop rate and retry budget.
+func chaosTrial(trialSeed uint64, drop float64, budget, rounds int) (out chaosTrialOut, err error) {
+	ca, err := pki.NewCA("trust-root", pki.NewDeterministicRand(trialSeed^0xc4a0))
+	if err != nil {
+		return out, err
+	}
+	srv, err := webserver.New("chaos.example", ca, trialSeed^0x5e7)
+	if err != nil {
+		return out, err
+	}
+	pl := placement.Placement{Sensors: []geom.Rect{geom.RectWH(180, 660, 120, 120)}}
+	mod, err := flock.New(flock.DefaultConfig(pl), ca, "chaos-phone", trialSeed+5)
+	if err != nil {
+		return out, err
+	}
+	// Three shared finger seeds across all trials keep the synthesis
+	// cost bounded without correlating the fault schedules.
+	finger := fingerprint.Synthesize(9000+trialSeed%3, fingerprint.PatternType(trialSeed%3))
+	if err := mod.Enroll(fingerprint.NewTemplate(finger)); err != nil {
+		return out, err
+	}
+
+	ft := device.NewFaultyTransport(&device.InMemory{Server: srv}, device.FaultProfile{}, sim.NewRNG(trialSeed^0xfa01))
+	dev := device.New("chaos-phone", mod, ft)
+	dev.SetRetryPolicy(device.RetryPolicy{
+		MaxAttempts: budget,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    800 * time.Millisecond,
+		JitterFrac:  0.2,
+	}, sim.NewRNG(trialSeed^0xfa02))
+
+	now := time.Duration(0)
+	verify := func() error {
+		for a := 0; a < 40; a++ {
+			ev := touch.Event{At: now, Pos: geom.Point{X: 240, Y: 720}, Pressure: 0.7, RadiusMM: 4.2, SpeedMMS: 1}
+			if dev.Touch(ev, finger).Kind == flock.Matched {
+				return nil
+			}
+			now += 400 * time.Millisecond
+		}
+		return fmt.Errorf("harness: chaos device never touch-verified")
+	}
+
+	// Session establishment runs over the clean link; the sweep
+	// measures steady-state browsing, not login-under-fire (XAttacks
+	// and the loadgen fault mode cover lossy logins).
+	if err := verify(); err != nil {
+		return out, err
+	}
+	if err := dev.Register(now, "chaos-acct", "recovery-pw"); err != nil {
+		return out, err
+	}
+	if err := verify(); err != nil {
+		return out, err
+	}
+	if err := dev.Login(now, srv.Certificate(), "chaos-acct"); err != nil {
+		return out, err
+	}
+
+	ft.Profile = device.FaultProfile{DropRate: drop}
+	for r := 0; r < rounds; r++ {
+		if err := verify(); err != nil {
+			return out, err
+		}
+		callsBefore := ft.Stats.Calls
+		after, err := dev.BrowseResilient(now, fmt.Sprintf("page-%d", r%4))
+		if err != nil {
+			out.failed = true
+			break
+		}
+		deliveries := ft.Stats.Calls - callsBefore
+		out.retries += deliveries - 1
+		switch {
+		case dev.Degraded():
+			out.degraded++
+		default:
+			out.acked++
+			if deliveries > 1 {
+				out.recovered++
+				out.recovery += after - now
+			}
+		}
+		now = after
+	}
+	return out, nil
+}

@@ -27,6 +27,7 @@ func TestSweptExperimentsWorkerCountInvariant(t *testing.T) {
 		{"XImagePipeline", XImagePipeline},
 		{"XAttacks", XAttacks},
 		{"XFuzzyVault", XFuzzyVault},
+		{"XChaos", XChaos},
 		{"Fig6", Fig6},
 	}
 	for _, e := range exps {

@@ -392,6 +392,7 @@ func AllResults(seed uint64) ([]Result, error) {
 		func() (Result, error) { return XAdaptation(seed) },
 		func() (Result, error) { return XNoise(seed) },
 		func() (Result, error) { return XPersonalization(seed) },
+		func() (Result, error) { return XChaos(seed) },
 	}
 	var out []Result
 	for _, g := range gens {

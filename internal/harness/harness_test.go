@@ -411,6 +411,29 @@ func TestXPersonalizationShape(t *testing.T) {
 	}
 }
 
+func TestXChaosRetriesRescueLossySessions(t *testing.T) {
+	r, err := XChaos(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean link: every interaction acknowledged even without retries.
+	if got := r.Metrics["acked_drop0_budget1"]; got != 1 {
+		t.Fatalf("clean link acked %.2f, want 1.0", got)
+	}
+	// The ISSUE's acceptance pair: at 30%% loss a sane retry budget
+	// completes every interaction, while fail-fast demonstrably loses
+	// sessions to degraded mode.
+	withRetries := r.Metrics["acked_drop30_budget8"]
+	withoutRetries := r.Metrics["acked_drop30_budget1"]
+	if withRetries != 1 {
+		t.Fatalf("30%% loss with retry budget 8: acked %.2f, want 1.0", withRetries)
+	}
+	if withoutRetries >= withRetries {
+		t.Fatalf("fail-fast acked %.2f not below retried %.2f at 30%% loss",
+			withoutRetries, withRetries)
+	}
+}
+
 func TestAllResultsComplete(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full regeneration is slow")
@@ -419,8 +442,8 @@ func TestAllResultsComplete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 25 {
-		t.Fatalf("%d artifacts, want 25 (2 tables + 10 figures + 13 extensions)", len(results))
+	if len(results) != 26 {
+		t.Fatalf("%d artifacts, want 26 (2 tables + 10 figures + 14 extensions)", len(results))
 	}
 	seen := map[string]bool{}
 	for _, r := range results {

@@ -25,6 +25,7 @@ import (
 	"trust/internal/geom"
 	"trust/internal/pki"
 	"trust/internal/placement"
+	"trust/internal/sim"
 	"trust/internal/touch"
 	"trust/internal/webserver"
 )
@@ -86,11 +87,22 @@ type Config struct {
 	Mode      Mode
 	// Seed parameterizes the deterministic fleet construction.
 	Seed uint64
+	// Faults, when non-zero, injects deterministic network faults into
+	// the measured traffic (registration and session establishment stay
+	// clean). Lossy scenarios need RetryAttempts > 0 or ops fail.
+	Faults device.FaultProfile
+	// RetryAttempts arms the devices' resilient flows with this total
+	// attempt budget; 0 leaves the historical fail-fast behavior.
+	RetryAttempts int
 }
 
 // Name is the scenario's identifier in reports.
 func (c Config) Name() string {
-	return fmt.Sprintf("%s_%s_%d", c.Mode, c.Transport, c.Devices)
+	name := fmt.Sprintf("%s_%s_%d", c.Mode, c.Transport, c.Devices)
+	if c.Faults.DropRate > 0 {
+		name += fmt.Sprintf("_drop%.0fr%d", c.Faults.DropRate*100, c.RetryAttempts)
+	}
+	return name
 }
 
 // Result is one measured scenario.
@@ -110,6 +122,9 @@ type Result struct {
 type loadDevice struct {
 	dev *device.Device
 	now time.Duration
+	// ft is the device's fault injector, present only in -faults
+	// scenarios; its profile is armed after the clean build phase.
+	ft *device.FaultyTransport
 }
 
 // fleet is a fully constructed scenario ready to measure.
@@ -167,7 +182,24 @@ func build(cfg Config) (*fleet, error) {
 			fl.close()
 			return nil, err
 		}
-		ld := &loadDevice{dev: device.New(fmt.Sprintf("load-dev-%d", i), mod, mkTransport(i))}
+		faulty := cfg.Faults != (device.FaultProfile{}) || cfg.RetryAttempts > 0
+		tr := mkTransport(i)
+		ld := &loadDevice{}
+		if faulty {
+			// Build-phase traffic runs through the wrapper with a clean
+			// profile; the real profile is armed after login.
+			ld.ft = device.NewFaultyTransport(tr, device.FaultProfile{}, sim.NewRNG(cfg.Seed^0xfa0+uint64(i)*31))
+			tr = ld.ft
+		}
+		ld.dev = device.New(fmt.Sprintf("load-dev-%d", i), mod, tr)
+		if cfg.RetryAttempts > 0 {
+			ld.dev.SetRetryPolicy(device.RetryPolicy{
+				MaxAttempts: cfg.RetryAttempts,
+				BaseDelay:   50 * time.Millisecond,
+				MaxDelay:    800 * time.Millisecond,
+				JitterFrac:  0.2,
+			}, sim.NewRNG(cfg.Seed^0xfa1+uint64(i)*37))
+		}
 		verified := false
 		for a := 0; a < 40 && !verified; a++ {
 			ev := touch.Event{At: ld.now, Pos: geom.Point{X: 240, Y: 720}, Pressure: 0.7, RadiusMM: 4.2, SpeedMMS: 1}
@@ -193,6 +225,13 @@ func build(cfg Config) (*fleet, error) {
 		}
 		fl.devices = append(fl.devices, ld)
 	}
+	// The build phase ran clean; arm the fault schedule for the
+	// measured traffic.
+	for _, ld := range fl.devices {
+		if ld.ft != nil {
+			ld.ft.Profile = cfg.Faults
+		}
+	}
 	return fl, nil
 }
 
@@ -204,16 +243,29 @@ func (fl *fleet) close() {
 	}
 }
 
-// op runs one operation on device i.
+// op runs one operation on device i. Each device is driven by exactly
+// one goroutine, so its clock and fault stream need no locking. The
+// resilient flows return a backoff-advanced clock which is deliberately
+// discarded: loadgen's devices keep their frozen post-touch timestamp
+// so touch authorization never expires mid-measurement.
 func (fl *fleet) op(i, iter int) error {
 	ld := fl.devices[i]
+	resilient := ld.dev.Retry != nil
 	switch fl.cfg.Mode {
 	case Login:
+		if resilient {
+			_, err := ld.dev.LoginResilient(ld.now, fl.cert, account(i))
+			return err
+		}
 		return ld.dev.Login(ld.now, fl.cert, account(i))
 	default:
 		action := "view-statement"
 		if iter%2 == 1 {
 			action = "home"
+		}
+		if resilient {
+			_, err := ld.dev.BrowseResilient(ld.now, action)
+			return err
 		}
 		return ld.dev.Browse(ld.now, action)
 	}

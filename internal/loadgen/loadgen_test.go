@@ -1,6 +1,10 @@
 package loadgen
 
-import "testing"
+import (
+	"testing"
+
+	"trust/internal/device"
+)
 
 func TestRunDirectPageRequest(t *testing.T) {
 	res, err := Run(Config{Devices: 2, Transport: Direct, Mode: PageRequest, Seed: 1})
@@ -28,6 +32,23 @@ func TestRunHTTPBinaryLogin(t *testing.T) {
 	}
 	if res.Ops < 1 || res.OpsPerSec <= 0 {
 		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestRunLossyPageRequest(t *testing.T) {
+	res, err := Run(Config{
+		Devices: 2, Transport: Direct, Mode: PageRequest, Seed: 1,
+		Faults:        device.FaultProfile{DropRate: 0.2},
+		RetryAttempts: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 1 || res.OpsPerSec <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.Name != "page-request_direct_2_drop20r4" {
+		t.Fatalf("scenario name %q", res.Name)
 	}
 }
 

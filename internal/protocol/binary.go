@@ -30,6 +30,7 @@ const (
 	tagLoginSubmit
 	tagContentPage
 	tagPageRequest
+	tagResyncRequest
 )
 
 // ErrBinaryDecode reports malformed binary input.
@@ -280,6 +281,12 @@ func EncodeBinary(msg any) ([]byte, error) {
 		w.u32(m.RiskVerified)
 		w.u32(m.RiskWindow)
 		w.bytes(m.MAC)
+	case *ResyncRequest:
+		w.u8(tagResyncRequest)
+		w.str(m.Domain)
+		w.str(m.Account)
+		w.str(m.SessionID)
+		w.bytes(m.MAC)
 	default:
 		return nil, fmt.Errorf("protocol: cannot binary-encode %T", msg)
 	}
@@ -352,6 +359,13 @@ func DecodeBinary(data []byte) (any, error) {
 		m.FrameHash = r.hash()
 		m.RiskVerified = r.u32()
 		m.RiskWindow = r.u32()
+		m.MAC = r.bytes()
+		out = m
+	case tagResyncRequest:
+		m := &ResyncRequest{}
+		m.Domain = r.str()
+		m.Account = r.str()
+		m.SessionID = r.str()
 		m.MAC = r.bytes()
 		out = m
 	default:

@@ -68,6 +68,32 @@ func TestBinaryRoundTripAllMessages(t *testing.T) {
 		Domain: "www.xyz.com", Account: "a", SessionID: "s", Nonce: "n6", Action: "act",
 		FrameHash: h, RiskVerified: 2, RiskWindow: 12, MAC: []byte{10},
 	}, func(v any) []byte { return v.(*protocol.PageRequest).MACBytes() })
+
+	binRoundTrip(t, &protocol.ResyncRequest{
+		Domain: "www.xyz.com", Account: "a", SessionID: "s", MAC: []byte{11, 12},
+	}, func(v any) []byte { return v.(*protocol.ResyncRequest).MACBytes() })
+}
+
+// TestBinaryDecodeTruncated chops a valid encoding at every length and
+// checks the decoder fails cleanly rather than accepting a prefix.
+func TestBinaryDecodeTruncated(t *testing.T) {
+	var h frame.Hash
+	full, err := protocol.EncodeBinary(&protocol.PageRequest{
+		Domain: "www.xyz.com", Account: "acct", SessionID: "sess", Nonce: "nonce",
+		Action: "view", FrameHash: h, RiskVerified: 2, RiskWindow: 12,
+		MAC: bytes.Repeat([]byte{7}, 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(full); n++ {
+		if _, err := protocol.DecodeBinary(full[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded", n, len(full))
+		}
+	}
+	if _, err := protocol.DecodeBinary(full); err != nil {
+		t.Fatalf("full message failed: %v", err)
+	}
 }
 
 func TestBinarySmallerThanJSON(t *testing.T) {

@@ -206,6 +206,20 @@ func (c *Client) BuildPageRequest(now time.Duration, sess *Session, action strin
 	return req, nil
 }
 
+// BuildResync builds the session-recovery message for a session whose
+// nonce echo was lost in transit (docs/protocol.md, "Failure
+// semantics"). Unlike BuildPageRequest it asserts no user action, so it
+// requires no fresh touch and carries no frame hash — the session-key
+// MAC alone proves the requester owns the session.
+func (c *Client) BuildResync(sess *Session) (*ResyncRequest, error) {
+	if sess == nil || sess.ID == "" {
+		return nil, errors.New("protocol: no established session")
+	}
+	req := &ResyncRequest{Domain: sess.Domain, Account: sess.Account, SessionID: sess.ID}
+	req.MAC = pki.MAC(sess.Key, req.MACBytes())
+	return req, nil
+}
+
 // DisplayPage renders a page at the default view through the module's
 // display path and returns the frame hash — the device calls this
 // whenever a server page reaches the screen.

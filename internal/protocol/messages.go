@@ -87,6 +87,21 @@ type ContentPage struct {
 	MAC       []byte
 }
 
+// ResyncRequest is the session-recovery message: a device that lost a
+// ContentPage in transit (the server rotated the session nonce but the
+// echo never arrived) proves session-key knowledge and asks for the
+// last page to be re-served under a fresh nonce. It asserts no user
+// action, so it needs no touch authorization and no frame hash; the MAC
+// under the session key is the whole credential. Replaying a captured
+// ResyncRequest only rotates the nonce again — it can stall a session
+// but never advance one.
+type ResyncRequest struct {
+	Domain    string
+	Account   string
+	SessionID string
+	MAC       []byte // HMAC-SHA256 under the session key
+}
+
 // PageRequest is Fig 10 step 4: each subsequent user-to-server
 // interaction, MAC'd under the session key.
 type PageRequest struct {
@@ -164,6 +179,13 @@ func (m *ContentPage) MACBytes() []byte {
 
 // MACBytes of a PageRequest covers everything but MAC.
 func (m *PageRequest) MACBytes() []byte {
+	cp := *m
+	cp.MAC = nil
+	return canonical(&cp)
+}
+
+// MACBytes of a ResyncRequest covers everything but MAC.
+func (m *ResyncRequest) MACBytes() []byte {
 	cp := *m
 	cp.MAC = nil
 	return canonical(&cp)

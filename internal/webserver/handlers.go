@@ -89,7 +89,7 @@ func (s *Server) ServeLoginPage(now time.Duration) *protocol.LoginPage {
 func (s *Server) HandleLogin(now time.Duration, sub *protocol.LoginSubmit) (*protocol.ContentPage, error) {
 	if sub == nil || sub.Domain != s.domain {
 		s.rejected.Add(1)
-		return nil, fmt.Errorf("webserver: malformed login")
+		return nil, fmt.Errorf("%w: login", ErrMalformed)
 	}
 	if s.accounts.failures(sub.Account) >= s.MaxLoginFailures {
 		s.rejected.Add(1)
@@ -113,7 +113,7 @@ func (s *Server) HandleLogin(now time.Duration, sub *protocol.LoginSubmit) (*pro
 	key, err := pki.DecryptWith(s.kem.Private, sub.SessionKeyCT)
 	if err != nil || len(key) != pki.SessionKeySize {
 		s.rejected.Add(1)
-		return nil, fmt.Errorf("webserver: session key recovery failed")
+		return nil, ErrBadKey
 	}
 	if !pki.CheckMAC(key, sub.MACBytes(), sub.MAC) {
 		s.rejected.Add(1)
@@ -149,7 +149,7 @@ func (s *Server) HandleLogin(now time.Duration, sub *protocol.LoginSubmit) (*pro
 func (s *Server) HandlePageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
 	if req == nil || req.Domain != s.domain {
 		s.rejected.Add(1)
-		return nil, fmt.Errorf("webserver: malformed request")
+		return nil, fmt.Errorf("%w: page request", ErrMalformed)
 	}
 	sess, ok := s.sessions.get(req.SessionID)
 	if !ok {
@@ -181,6 +181,36 @@ func (s *Server) HandlePageRequest(now time.Duration, req *protocol.PageRequest)
 	s.audit.Append(frame.AuditEntry{Account: req.Account, PageURL: sess.lastPage, Hash: req.FrameHash, At: now})
 	s.accepted.Add(1)
 	return s.contentPage(sess, s.PageForAction(req.Action)), nil
+}
+
+// HandleResync re-serves a session's last page under a fresh nonce for
+// a device that lost a ContentPage in transit (the retry layer's nonce
+// resync, docs/protocol.md "Failure semantics"). The requester proves
+// session-key knowledge with the MAC; no user action is asserted, so no
+// frame hash is logged and the risk policy is not consulted — resync
+// can recover a session's nonce state but never advance the session.
+func (s *Server) HandleResync(now time.Duration, req *protocol.ResyncRequest) (*protocol.ContentPage, error) {
+	if req == nil || req.Domain != s.domain {
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("%w: resync request", ErrMalformed)
+	}
+	sess, ok := s.sessions.get(req.SessionID)
+	if !ok {
+		s.rejected.Add(1)
+		return nil, ErrUnknownSession
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.revoked || sess.account != req.Account {
+		s.rejected.Add(1)
+		return nil, ErrUnknownSession
+	}
+	if !pki.CheckMAC(sess.key, req.MACBytes(), req.MAC) {
+		s.rejected.Add(1)
+		return nil, ErrBadMAC
+	}
+	s.accepted.Add(1)
+	return s.contentPage(sess, s.page(sess.lastPage)), nil
 }
 
 // contentPage builds the MAC'd response and rotates the session nonce.
@@ -248,7 +278,7 @@ func (s *Server) ResetIdentity(account, recoveryPassword string) error {
 		return ErrUnknownAccount
 	}
 	if acct.RecoveryPassword == "" || subtle.ConstantTimeCompare([]byte(acct.RecoveryPassword), []byte(recoveryPassword)) != 1 {
-		return fmt.Errorf("webserver: recovery password mismatch")
+		return ErrBadRecovery
 	}
 	s.accounts.remove(account)
 	s.sessions.forEach(func(sess *session) {

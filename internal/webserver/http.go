@@ -3,8 +3,10 @@ package webserver
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"strconv"
 	"sync"
@@ -24,6 +26,55 @@ const maxBodyBytes = 1 << 20
 // DecodeBinary copies every field out of the raw bytes, so a buffer can
 // be returned to the pool as soon as decoding finishes.
 var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// ErrorHeader carries the typed rejection code on error responses, so
+// clients recover the exact sentinel without parsing the body.
+const ErrorHeader = "X-Trust-Error"
+
+// wireErrors maps each handler sentinel to a short wire code and a
+// distinct HTTP status. The device transport reverses the mapping
+// (ErrorFromCode), which is what lets its retry layer split retryable
+// from terminal rejections; see docs/protocol.md "Failure semantics".
+var wireErrors = []struct {
+	err    error
+	code   string
+	status int
+}{
+	{ErrMalformed, "malformed", http.StatusBadRequest},
+	{ErrBadSignature, "bad-signature", http.StatusUnauthorized},
+	{ErrBadMAC, "bad-mac", http.StatusForbidden},
+	{ErrUnknownAccount, "unknown-account", http.StatusNotFound},
+	{ErrBadNonce, "bad-nonce", http.StatusConflict},
+	{ErrUnknownSession, "unknown-session", http.StatusGone},
+	{ErrRiskPolicy, "risk-policy", http.StatusPreconditionFailed},
+	{ErrBadKey, "bad-key", http.StatusUnprocessableEntity},
+	{ErrRateLimited, "rate-limited", http.StatusTooManyRequests},
+}
+
+// writeError puts a handler rejection on the wire: the matching
+// sentinel's code in ErrorHeader plus its status. Rejections outside
+// the table (none today) degrade to a bare 403.
+func writeError(w http.ResponseWriter, err error) {
+	for _, we := range wireErrors {
+		if errors.Is(err, we.err) {
+			w.Header().Set(ErrorHeader, we.code)
+			http.Error(w, err.Error(), we.status)
+			return
+		}
+	}
+	http.Error(w, err.Error(), http.StatusForbidden)
+}
+
+// ErrorFromCode maps a wire code from ErrorHeader back to its sentinel
+// error; unknown codes return nil.
+func ErrorFromCode(code string) error {
+	for _, we := range wireErrors {
+		if we.code == code {
+			return we.err
+		}
+	}
+	return nil
+}
 
 // requestNow extracts the virtual timestamp from the "now" query
 // parameter (nanoseconds); omitted, it defaults to zero.
@@ -57,7 +108,10 @@ func writeResponse(w http.ResponseWriter, r *http.Request, v any) {
 // the binary codec the decoder's own pointer is routed straight to the
 // caller — no value copy in between.
 func decodeBody[M any](w http.ResponseWriter, r *http.Request) (*M, bool) {
-	if r.Header.Get("Content-Type") == binaryMIME {
+	// Parse the media type properly: "application/octet-stream;
+	// charset=x" must still route to the binary decoder.
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == binaryMIME {
 		buf := bodyPool.Get().(*bytes.Buffer)
 		buf.Reset()
 		defer bodyPool.Put(buf)
@@ -117,7 +171,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		cp, err := s.HandleLogin(requestNow(r), sub)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusForbidden)
+			writeError(w, err)
 			return
 		}
 		writeResponse(w, r, cp)
@@ -129,7 +183,19 @@ func (s *Server) Handler() http.Handler {
 		}
 		cp, err := s.HandlePageRequest(requestNow(r), req)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusForbidden)
+			writeError(w, err)
+			return
+		}
+		writeResponse(w, r, cp)
+	})
+	mux.HandleFunc("POST /trust/resync", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeBody[protocol.ResyncRequest](w, r)
+		if !ok {
+			return
+		}
+		cp, err := s.HandleResync(requestNow(r), req)
+		if err != nil {
+			writeError(w, err)
 			return
 		}
 		writeResponse(w, r, cp)

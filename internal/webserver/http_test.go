@@ -3,6 +3,7 @@ package webserver
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -68,7 +69,7 @@ func TestHTTPBadJSONBodyRejected(t *testing.T) {
 	}
 }
 
-func TestHTTPLoginRejectionIs403(t *testing.T) {
+func TestHTTPLoginRejectionTyped(t *testing.T) {
 	_, ts := httpRig(t)
 	body, _ := json.Marshal(&protocol.LoginSubmit{Domain: "www.xyz.com", Account: "ghost"})
 	resp, err := ts.Client().Post(ts.URL+"/trust/login", "application/json", bytes.NewReader(body))
@@ -76,12 +77,18 @@ func TestHTTPLoginRejectionIs403(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusForbidden {
-		t.Fatalf("forged login status %d, want 403", resp.StatusCode)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("forged login status %d, want 404", resp.StatusCode)
+	}
+	if code := resp.Header.Get(ErrorHeader); code != "unknown-account" {
+		t.Fatalf("forged login error code %q, want unknown-account", code)
+	}
+	if !errors.Is(ErrorFromCode(resp.Header.Get(ErrorHeader)), ErrUnknownAccount) {
+		t.Fatal("wire code did not round-trip to ErrUnknownAccount")
 	}
 }
 
-func TestHTTPPageRequestRejectionIs403(t *testing.T) {
+func TestHTTPPageRequestRejectionTyped(t *testing.T) {
 	_, ts := httpRig(t)
 	body, _ := json.Marshal(&protocol.PageRequest{Domain: "www.xyz.com", Account: "g", SessionID: "nope"})
 	resp, err := ts.Client().Post(ts.URL+"/trust/page", "application/json", bytes.NewReader(body))
@@ -89,8 +96,25 @@ func TestHTTPPageRequestRejectionIs403(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusForbidden {
-		t.Fatalf("forged page request status %d, want 403", resp.StatusCode)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("forged page request status %d, want 410", resp.StatusCode)
+	}
+	if code := resp.Header.Get(ErrorHeader); code != "unknown-session" {
+		t.Fatalf("forged page request error code %q, want unknown-session", code)
+	}
+}
+
+func TestErrorCodeRoundTrip(t *testing.T) {
+	for _, we := range wireErrors {
+		if got := ErrorFromCode(we.code); !errors.Is(got, we.err) {
+			t.Errorf("code %q round-tripped to %v, want %v", we.code, got, we.err)
+		}
+	}
+	if ErrorFromCode("no-such-code") != nil {
+		t.Error("unknown code should map to nil")
+	}
+	if ErrorFromCode("") != nil {
+		t.Error("empty code should map to nil")
 	}
 }
 

@@ -1,0 +1,224 @@
+package webserver
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"trust/internal/frame"
+	"trust/internal/protocol"
+)
+
+// Idempotency under at-least-once delivery: a duplicated or replayed
+// submission must fail with a typed rejection and never double-apply —
+// no second session, no second nonce advance, no second audit entry.
+// The concurrent variants run the duplicates simultaneously (the
+// interesting case for the sharded stores) and are exercised by the
+// tier-1 -race leg.
+
+// buildLoginSubmit runs the client side of Fig 10 up to the submission.
+func buildLoginSubmit(t *testing.T, r *rig, account string) (*protocol.LoginSubmit, *protocol.Session) {
+	t.Helper()
+	lp := r.server.ServeLoginPage(r.now)
+	r.client.DisplayPage(lp.Page, frame.View{Zoom: 1})
+	r.touchButton(t)
+	sub, sess, err := r.client.HandleLoginPage(r.now, lp, r.server.Certificate(), account, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub, sess
+}
+
+func TestConcurrentDuplicateLoginCreatesOneSession(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "dup-acct")
+	sub, _ := buildLoginSubmit(t, r, "dup-acct")
+
+	const deliveries = 16
+	results := make([]error, deliveries)
+	var wg sync.WaitGroup
+	for i := 0; i < deliveries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = r.server.HandleLogin(r.now, sub)
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, badNonce int
+	for _, err := range results {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrBadNonce):
+			badNonce++
+		default:
+			t.Fatalf("duplicate login rejected with wrong type: %v", err)
+		}
+	}
+	if ok != 1 {
+		t.Fatalf("%d of %d duplicate logins succeeded, want exactly 1", ok, deliveries)
+	}
+	if badNonce != deliveries-1 {
+		t.Fatalf("losers: %d ErrBadNonce, want %d", badNonce, deliveries-1)
+	}
+	if got := r.server.SessionCount(); got != 1 {
+		t.Fatalf("duplicate logins created %d sessions, want 1", got)
+	}
+}
+
+func TestConcurrentDuplicatePageRequestAdvancesOnce(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "dup-acct")
+	sess, _ := r.login(t, "dup-acct")
+	r.touchButton(t)
+	req, err := r.client.BuildPageRequest(r.now, sess, "view-statement", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const deliveries = 16
+	results := make([]error, deliveries)
+	var wg sync.WaitGroup
+	for i := 0; i < deliveries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = r.server.HandlePageRequest(r.now, req)
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, badNonce int
+	for _, err := range results {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrBadNonce):
+			badNonce++
+		default:
+			t.Fatalf("duplicate page request rejected with wrong type: %v", err)
+		}
+	}
+	if ok != 1 || badNonce != deliveries-1 {
+		t.Fatalf("duplicates: %d ok, %d bad-nonce; want 1 and %d", ok, badNonce, deliveries-1)
+	}
+	if got, _ := SessionRequestsForTest(r.server, sess.ID); got != 1 {
+		t.Fatalf("session advanced %d times under duplicate delivery, want 1", got)
+	}
+}
+
+func TestConcurrentDuplicateResyncOnlyRotates(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "dup-acct")
+	sess, _ := r.login(t, "dup-acct")
+	req, err := r.client.BuildResync(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	auditBefore := r.server.RunAudit().Checked
+	reqBefore, _ := SessionRequestsForTest(r.server, sess.ID)
+
+	const deliveries = 16
+	pages := make([]*protocol.ContentPage, deliveries)
+	var wg sync.WaitGroup
+	for i := 0; i < deliveries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cp, err := r.server.HandleResync(r.now, req)
+			if err != nil {
+				t.Errorf("resync delivery %d: %v", i, err)
+				return
+			}
+			pages[i] = cp
+		}(i)
+	}
+	wg.Wait()
+
+	// Resync is deliberately replayable (no nonce of its own), but it
+	// must be side-effect-free: no audit entries, no request advance —
+	// a replaying attacker can only rotate the nonce, never act.
+	if got := r.server.RunAudit().Checked - auditBefore; got != 0 {
+		t.Fatalf("resync replays appended %d audit entries", got)
+	}
+	if got, _ := SessionRequestsForTest(r.server, sess.ID); got != reqBefore {
+		t.Fatalf("resync replays advanced the session: %d -> %d", reqBefore, got)
+	}
+	// Only the last-rotated nonce is live: at most one of the served
+	// pages can still be redeemed.
+	live := 0
+	for _, cp := range pages {
+		if cp == nil {
+			continue
+		}
+		if err := r.client.AcceptContentPage(sess, cp); err != nil {
+			continue
+		}
+		r.touchButton(t)
+		preq, err := r.client.BuildPageRequest(r.now, sess, "home", 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.server.HandlePageRequest(r.now, preq); err == nil {
+			live++
+		} else if !errors.Is(err, ErrBadNonce) {
+			t.Fatalf("stale resync nonce rejected with wrong type: %v", err)
+		}
+	}
+	if live != 1 {
+		t.Fatalf("%d resync'd nonces were redeemable, want exactly 1", live)
+	}
+}
+
+func TestReplayedLoginAfterSuccessIsBadNonce(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "replay-acct")
+	sub, sess := buildLoginSubmit(t, r, "replay-acct")
+	cp, err := r.server.HandleLogin(r.now, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.AcceptContentPage(sess, cp); err != nil {
+		t.Fatal(err)
+	}
+	// A captured, byte-identical replay minutes later.
+	if _, err := r.server.HandleLogin(r.now+1e9, sub); !errors.Is(err, ErrBadNonce) {
+		t.Fatalf("replayed login error = %v, want ErrBadNonce", err)
+	}
+	if got := r.server.SessionCount(); got != 1 {
+		t.Fatalf("replayed login created a session: %d live", got)
+	}
+}
+
+func TestTypedRejectionsAreSentinels(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "typed-acct")
+	sess, _ := r.login(t, "typed-acct")
+
+	if _, err := r.server.HandleLogin(r.now, nil); !errors.Is(err, ErrMalformed) {
+		t.Errorf("nil login error = %v, want ErrMalformed", err)
+	}
+	if _, err := r.server.HandlePageRequest(r.now, nil); !errors.Is(err, ErrMalformed) {
+		t.Errorf("nil page request error = %v, want ErrMalformed", err)
+	}
+	if _, err := r.server.HandleResync(r.now, nil); !errors.Is(err, ErrMalformed) {
+		t.Errorf("nil resync error = %v, want ErrMalformed", err)
+	}
+	if _, err := r.server.HandleResync(r.now, &protocol.ResyncRequest{Domain: "www.xyz.com", Account: "typed-acct", SessionID: "bogus"}); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("bogus-session resync error = %v, want ErrUnknownSession", err)
+	}
+	bad, err := r.client.BuildResync(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.MAC[0] ^= 0xff
+	if _, err := r.server.HandleResync(r.now, bad); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("tampered resync error = %v, want ErrBadMAC", err)
+	}
+	if err := r.server.ResetIdentity("typed-acct", "wrong"); !errors.Is(err, ErrBadRecovery) {
+		t.Errorf("wrong recovery error = %v, want ErrBadRecovery", err)
+	}
+}

@@ -254,14 +254,21 @@ func (s *Server) sign(data []byte) []byte {
 	return ed25519.Sign(s.keys.Private, data)
 }
 
-// Errors the handlers return.
+// Errors the handlers return. Every rejection a handler can produce
+// wraps exactly one of these sentinels, so clients (and the device's
+// retry layer) classify failures with errors.Is instead of string
+// matching; http.go maps each to a distinct HTTP status code and the
+// device transport round-trips them back into the same typed values.
 var (
+	ErrMalformed      = errors.New("webserver: malformed message")
 	ErrBadNonce       = errors.New("webserver: unknown or replayed nonce")
 	ErrBadSignature   = errors.New("webserver: signature verification failed")
 	ErrBadMAC         = errors.New("webserver: MAC verification failed")
+	ErrBadKey         = errors.New("webserver: session key recovery failed")
 	ErrUnknownAccount = errors.New("webserver: unknown account")
 	ErrUnknownSession = errors.New("webserver: unknown or revoked session")
 	ErrRiskPolicy     = errors.New("webserver: continuous-auth risk policy violated")
 	ErrTaken          = errors.New("webserver: account already bound")
 	ErrRateLimited    = errors.New("webserver: account locked after repeated login failures")
+	ErrBadRecovery    = errors.New("webserver: recovery password mismatch")
 )
