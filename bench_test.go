@@ -175,6 +175,12 @@ func BenchmarkChaos(b *testing.B) {
 	benchArtifact(b, func() (harness.Result, error) { return harness.XChaos(harness.Seed) })
 }
 
+// BenchmarkStreamChaos regenerates the streamed-transport chaos sweep
+// (X14b): mid-frame cuts and torn writes vs retry budget.
+func BenchmarkStreamChaos(b *testing.B) {
+	benchArtifact(b, func() (harness.Result, error) { return harness.XStreamChaos(harness.Seed) })
+}
+
 // BenchmarkTrustlint measures the wall time of the full static-analysis
 // sweep (cmd/trustlint over every package in the module), so analyzer
 // cost is tracked in BENCH_harness.json like the artifact generators.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"trust/internal/analysis"
@@ -124,6 +125,7 @@ func main() {
 			"noise":           func() (harness.Result, error) { return harness.XNoise(*seed) },
 			"personalization": func() (harness.Result, error) { return harness.XPersonalization(*seed) },
 			"chaos":           func() (harness.Result, error) { return harness.XChaos(*seed) },
+			"streamchaos":     func() (harness.Result, error) { return harness.XStreamChaos(*seed) },
 		}
 		gen, ok := gens[*ext]
 		if !ok {
@@ -162,9 +164,23 @@ func writeServerJSON(path string, seed uint64) error {
 			Faults: device.FaultProfile{DropRate: 0.2}, RetryAttempts: 4},
 		{Devices: 8, Transport: loadgen.HTTPBinary, Mode: loadgen.PageRequest, Seed: seed,
 			Faults: device.FaultProfile{DropRate: 0.2}, RetryAttempts: 4},
+		// Streamed rows: one multiplexed connection per device over the
+		// same TCP loopback the HTTP rows use. The clean row against
+		// page-request_http-binary_8 is the streaming PR's headline
+		// speedup; the batch row adds pipelining; the cut row shows the
+		// stream riding out mid-frame cuts with its retry budget.
+		{Devices: 8, Transport: loadgen.Stream, Mode: loadgen.PageRequest, Seed: seed},
+		{Devices: 8, Transport: loadgen.Stream, Mode: loadgen.PageRequest, Seed: seed, Batch: 16},
+		{Devices: 8, Transport: loadgen.Stream, Mode: loadgen.PageRequest, Seed: seed,
+			StreamFaults: device.StreamFaultProfile{CutRate: 0.1, TearRate: 0.25, HandshakeGrace: 1},
+			RetryAttempts: 4},
 	}
 	var results []loadgen.Result
 	for _, cfg := range configs {
+		// Settle the heap between scenarios so one row's garbage does
+		// not inflate the next row's GC share — the scenarios are
+		// independent measurements, not one workload.
+		runtime.GC()
 		res, err := loadgen.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cfg.Name(), err)
@@ -222,6 +238,7 @@ func writeBenchJSON(path string, seed uint64) error {
 		{"Noise", func() (harness.Result, error) { return harness.XNoise(seed) }},
 		{"Personalization", func() (harness.Result, error) { return harness.XPersonalization(seed) }},
 		{"Chaos", func() (harness.Result, error) { return harness.XChaos(seed) }},
+		{"StreamChaos", func() (harness.Result, error) { return harness.XStreamChaos(seed) }},
 	}
 	// Fail on an unwritable path before spending minutes measuring.
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)

@@ -28,12 +28,15 @@ import (
 func main() {
 	var (
 		devices   = flag.String("devices", "1,8", "comma-separated device counts to sweep")
-		transport = flag.String("transport", "direct", "transport: direct|json|binary")
+		transport = flag.String("transport", "direct", "transport: direct|json|binary|stream")
 		mode      = flag.String("mode", "page", "operation: page|login")
 		seed      = flag.Uint64("seed", 1, "deterministic fleet seed")
 		jsonPath  = flag.String("json", "", "also write the report as JSON to the given file")
 		faults    = flag.Float64("faults", 0, "per-direction message drop rate on the measured traffic (0..1)")
-		retries   = flag.Int("retries", 0, "retry budget per operation (required with -faults)")
+		retries   = flag.Int("retries", 0, "retry budget per operation (required with -faults or -cut)")
+		batch     = flag.Int("batch", 0, "requests pipelined per touch batch (stream transport only)")
+		cut       = flag.Float64("cut", 0, "mid-frame cut rate on streamed writes (0..1, stream transport only)")
+		tear      = flag.Float64("tear", 0, "torn-write rate on streamed writes (0..1, stream transport only)")
 	)
 	flag.Parse()
 	if *faults < 0 || *faults >= 1 {
@@ -44,11 +47,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trustload: -faults needs -retries >= 1 (lossy ops would abort the run)")
 		os.Exit(2)
 	}
+	if *cut < 0 || *cut >= 1 || *tear < 0 || *tear >= 1 {
+		fmt.Fprintln(os.Stderr, "trustload: -cut/-tear outside [0, 1)")
+		os.Exit(2)
+	}
+	if *cut > 0 && *retries < 1 {
+		fmt.Fprintln(os.Stderr, "trustload: -cut needs -retries >= 1 (cut frames would abort the run)")
+		os.Exit(2)
+	}
+	if (*cut > 0 || *tear > 0 || *batch > 1) && *transport != "stream" {
+		fmt.Fprintln(os.Stderr, "trustload: -cut/-tear/-batch need -transport stream")
+		os.Exit(2)
+	}
 
 	tr, ok := map[string]loadgen.Transport{
 		"direct": loadgen.Direct,
 		"json":   loadgen.HTTPJSON,
 		"binary": loadgen.HTTPBinary,
+		"stream": loadgen.Stream,
 	}[*transport]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "trustload: unknown transport %q\n", *transport)
@@ -79,7 +95,9 @@ func main() {
 		res, err := loadgen.Run(loadgen.Config{
 			Devices: n, Transport: tr, Mode: md, Seed: *seed,
 			Faults:        device.FaultProfile{DropRate: *faults},
+			StreamFaults:  device.StreamFaultProfile{CutRate: *cut, TearRate: *tear, HandshakeGrace: 1},
 			RetryAttempts: *retries,
+			Batch:         *batch,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trustload: %v\n", err)

@@ -16,7 +16,7 @@ import (
 // //trustlint:allow nowallclock directive.
 var NoWallClock = &Analyzer{
 	Name: "nowallclock",
-	Doc:  "forbid wall-clock time (time.Now/Since/Sleep/...) and math/rand; use sim.Clock and sim.RNG",
+	Doc:  "forbid wall-clock time (time.Now/Since/Sleep/..., I/O deadlines, context timeouts) and math/rand; use sim.Clock and sim.RNG",
 	Run:  runNoWallClock,
 }
 
@@ -39,6 +39,29 @@ var wallClockFuncs = map[string]bool{
 var bannedImports = map[string]string{
 	"math/rand":    "derive randomness from a seeded *sim.RNG",
 	"math/rand/v2": "derive randomness from a seeded *sim.RNG",
+}
+
+// deadlineSetters are the net.Conn-shaped I/O deadline methods. A
+// deadline is a wall-clock timer armed inside the kernel: whether it
+// fires depends on host load, so a streamed-transport test that leans
+// on SetReadDeadline to detect a cut connection passes or fails by
+// machine. The repo's stream goroutines detect loss structurally
+// instead (closed pipes surface as read errors; the fault dialer
+// injects cuts deterministically), so deadline setters are banned
+// along with the clock reads they are built from.
+var deadlineSetters = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// contextTimeouts are the context constructors that embed a wall-clock
+// timer.
+var contextTimeouts = map[string]bool{
+	"WithTimeout":       true,
+	"WithTimeoutCause":  true,
+	"WithDeadline":      true,
+	"WithDeadlineCause": true,
 }
 
 // maybeReadBytePkgs are the crypto packages whose GenerateKey consults
@@ -74,10 +97,30 @@ func runNoWallClock(pass *Pass) {
 		switch {
 		case fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()]:
 			pass.Reportf(id.Pos(), "use of time.%s: wall time breaks run-to-run determinism; use the virtual sim.Clock", fn.Name())
+		case fn.Pkg().Path() == "context" && contextTimeouts[fn.Name()]:
+			pass.Reportf(id.Pos(), "use of context.%s: it arms a wall-clock timer, so cancellation depends on host load; drive teardown from the virtual sim.Clock or structural signals (closed connections)", fn.Name())
 		case maybeReadBytePkgs[fn.Pkg().Path()] && fn.Name() == "GenerateKey":
 			pass.Reportf(id.Pos(), "use of %s.GenerateKey: it reads a scheduler-dependent number of bytes (randutil.MaybeReadByte), desynchronizing deterministic entropy streams; read a fixed-size seed and build the key explicitly", pathBase(fn.Pkg().Path()))
+		case deadlineSetters[fn.Name()] && isDeadlineSignature(fn):
+			pass.Reportf(id.Pos(), "use of %s: an I/O deadline is a wall-clock timer, so timeouts fire by host load, not by run; detect loss structurally (closed connections, injected faults) instead", fn.Name())
 		}
 	}
+}
+
+// isDeadlineSignature reports whether fn is a method of the
+// net.Conn deadline shape: func(time.Time) error. The name check alone
+// would also catch unrelated methods that happen to share a name.
+func isDeadlineSignature(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
 }
 
 // pathBase returns the last element of an import path.

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strconv"
 )
 
 // RNGStream enforces the sweep-engine determinism contract inside
@@ -15,9 +16,15 @@ import (
 // in scheduling order, so results vary with worker count and the
 // worker=1 vs worker=N byte-identity that harness/determinism_test.go
 // asserts silently breaks.
+// The same hazard applies to goroutine closures: a `go func(){...}()`
+// capturing a shared generator races its draws against the spawning
+// goroutine's, so the draw sequence depends on scheduling. Stream
+// transports made this shape common (read-loop and server-connection
+// goroutines), so the rule covers go statements too — hand a goroutine
+// its own seeded stream, or draw everything before spawning.
 var RNGStream = &Analyzer{
 	Name: "rngstream",
-	Doc:  "forbid capturing *sim.RNG / *sim.Clock in sim.ParMap/Sweep trial closures; derive per-trial streams",
+	Doc:  "forbid capturing *sim.RNG / *sim.Clock in sim.ParMap/Sweep trial closures and go-statement closures; derive per-goroutine streams",
 	Run:  runRNGStream,
 }
 
@@ -33,20 +40,23 @@ func runRNGStream(pass *Pass) {
 	info := pass.Info()
 	for _, f := range pass.Files() {
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			fn := calleeFunc(info, call)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "trust/internal/sim" || !parEntryPoints[fn.Name()] {
-				return true
-			}
-			for _, arg := range call.Args {
-				lit, ok := arg.(*ast.FuncLit)
-				if !ok {
-					continue
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkClosure(pass, lit, func(obj types.Object, kind string) string {
+						return "go-statement closure captures " + kind + " " + strconv.Quote(obj.Name()) + " from the enclosing scope: concurrent draws interleave in scheduling order; give the goroutine its own seeded stream or draw before spawning"
+					})
 				}
-				checkTrialBody(pass, fn.Name(), lit)
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "trust/internal/sim" || !parEntryPoints[fn.Name()] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						checkTrialBody(pass, fn.Name(), lit)
+					}
+				}
 			}
 			return true
 		})
@@ -56,6 +66,14 @@ func runRNGStream(pass *Pass) {
 // checkTrialBody flags free *sim.RNG / *sim.Clock variables used inside
 // a trial closure.
 func checkTrialBody(pass *Pass, entry string, lit *ast.FuncLit) {
+	checkClosure(pass, lit, func(obj types.Object, kind string) string {
+		return "sim." + entry + " trial closure captures " + kind + " " + strconv.Quote(obj.Name()) + " from the enclosing scope: derive a per-trial stream (sim.TrialRNG(seed, i)) so results do not depend on worker scheduling"
+	})
+}
+
+// checkClosure flags free *sim.RNG / *sim.Clock variables used inside
+// a function literal, formatting each finding with msg.
+func checkClosure(pass *Pass, lit *ast.FuncLit, msg func(obj types.Object, kind string) string) {
 	info := pass.Info()
 	reported := make(map[types.Object]bool)
 	report := func(pos interface{ Pos() token.Pos }, obj types.Object, kind string) {
@@ -63,7 +81,7 @@ func checkTrialBody(pass *Pass, entry string, lit *ast.FuncLit) {
 			return
 		}
 		reported[obj] = true
-		pass.Reportf(pos.Pos(), "sim.%s trial closure captures %s %q from the enclosing scope: derive a per-trial stream (sim.TrialRNG(seed, i)) so results do not depend on worker scheduling", entry, kind, obj.Name())
+		pass.Reportf(pos.Pos(), "%s", msg(obj, kind))
 	}
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch n := n.(type) {

@@ -37,3 +37,26 @@ func Good(seed uint64, n int) ([]float64, error) {
 		return rng.Float64(), nil
 	})
 }
+
+// BadGoroutine races the spawned goroutine's draws against the
+// spawner's: the interleaving — and therefore every value drawn after
+// the spawn — depends on scheduling.
+func BadGoroutine(seed uint64) float64 {
+	rng := sim.NewRNG(seed)
+	done := make(chan float64)
+	go func() {
+		done <- rng.Float64() // want "go-statement closure captures \\*sim\\.RNG \"rng\""
+	}()
+	_ = rng.Float64()
+	return <-done
+}
+
+// GoodGoroutine gives the goroutine its own seeded stream.
+func GoodGoroutine(seed uint64) float64 {
+	done := make(chan float64)
+	go func() {
+		rng := sim.NewRNG(seed ^ 0x9e37)
+		done <- rng.Float64()
+	}()
+	return <-done
+}

@@ -34,6 +34,22 @@ type Transport interface {
 	SubmitResync(now time.Duration, req *protocol.ResyncRequest) (*protocol.ContentPage, error)
 }
 
+// sessionBinder is implemented by transports that hold per-session
+// connection state (the streamed transport): the device hands them the
+// session as soon as it is established so they can bind eagerly.
+type sessionBinder interface {
+	BindSession(sess *protocol.Session)
+}
+
+// batchTransport is implemented by transports that can carry several
+// touch-authenticated requests in one exchange. PredictNonce exposes
+// the deterministic response-nonce chain so request i of a batch can
+// echo the nonce response i-1 will carry.
+type batchTransport interface {
+	SubmitPageBatch(now time.Duration, reqs []*protocol.PageRequest) ([]*protocol.ContentPage, error)
+	PredictNonce(ahead int) (protocol.Nonce, bool)
+}
+
 // Malware models a compromised browser / software stack. A nil Malware
 // is a clean device. Each capability corresponds to an attack in the
 // paper's security analysis.
@@ -188,8 +204,17 @@ func (d *Device) Login(now time.Duration, cert *pki.Certificate, account string)
 		return err
 	}
 	d.session = sess
+	d.bindTransport()
 	d.display(cp.Page)
 	return nil
+}
+
+// bindTransport hands the established session to a session-binding
+// transport (no-op for the stateless ones).
+func (d *Device) bindTransport() {
+	if b, ok := d.transport.(sessionBinder); ok && d.session != nil {
+		b.BindSession(d.session)
+	}
 }
 
 // AdoptSession installs a session that was established by driving the
@@ -201,6 +226,7 @@ func (d *Device) AdoptSession(sess *protocol.Session, cp *protocol.ContentPage) 
 	}
 	d.session = sess
 	d.current = cp.Page
+	d.bindTransport()
 	return nil
 }
 
@@ -230,6 +256,89 @@ func (d *Device) Browse(now time.Duration, action string) error {
 	}
 	d.display(cp.Page)
 	return nil
+}
+
+// BrowseBatch issues one touch-authenticated request per action,
+// pipelined: on a batch-capable transport all requests travel in one
+// frame, each echoing its pre-computed chain nonce, and the responses
+// come back in order. On any other transport (or a downgraded stream)
+// it degrades to sequential Browse calls — same outcome, one round
+// trip per action.
+func (d *Device) BrowseBatch(now time.Duration, actions []string) error {
+	if len(actions) == 0 {
+		return nil
+	}
+	if d.session == nil {
+		return errors.New("device: no session")
+	}
+	bt, ok := d.transport.(batchTransport)
+	if !ok {
+		return d.browseSequential(now, actions)
+	}
+	reqs := make([]*protocol.PageRequest, 0, len(actions))
+	for i, action := range actions {
+		nonce, live := bt.PredictNonce(i)
+		if !live {
+			return d.browseSequential(now, actions)
+		}
+		if d.Malware != nil && d.Malware.RewriteAction != nil {
+			action = d.Malware.RewriteAction(action)
+		}
+		req, err := d.Client.BuildPageRequestAt(now, d.session, action, d.RiskWindow, nonce)
+		if err != nil {
+			return err
+		}
+		if d.Malware != nil && d.Malware.MutateRequest != nil {
+			d.Malware.MutateRequest(req)
+		}
+		reqs = append(reqs, req)
+	}
+	pages, err := bt.SubmitPageBatch(now, reqs)
+	if err != nil {
+		return err
+	}
+	for _, cp := range pages {
+		if err := d.Client.AcceptContentPage(d.session, cp); err != nil {
+			return err
+		}
+	}
+	d.display(pages[len(pages)-1].Page)
+	return nil
+}
+
+// browseSequential is BrowseBatch's one-at-a-time fallback.
+func (d *Device) browseSequential(now time.Duration, actions []string) error {
+	for _, action := range actions {
+		if err := d.Browse(now, action); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScheduleHeartbeats arranges `count` stream heartbeats every `every`
+// of virtual time on clock, starting one interval from now. Heartbeats
+// ride the streamed transport's Ping; on any other transport (or after
+// a downgrade) the events are no-ops. Virtual-time scheduling keeps
+// liveness probes deterministic — no wall-clock tickers in the stream
+// goroutines.
+func (d *Device) ScheduleHeartbeats(clock *sim.Clock, every time.Duration, count int) {
+	type pinger interface{ Ping(now time.Duration) error }
+	p, ok := d.transport.(pinger)
+	if !ok {
+		return
+	}
+	var schedule func(left int)
+	schedule = func(left int) {
+		if left <= 0 {
+			return
+		}
+		clock.After(every, func() {
+			_ = p.Ping(clock.Now())
+			schedule(left - 1)
+		})
+	}
+	schedule(count)
 }
 
 // InjectRequest models malware asserting a user action with NO backing

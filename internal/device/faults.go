@@ -122,6 +122,14 @@ func (t *FaultyTransport) flipByte(b []byte) {
 	b[t.rng.Intn(len(b))] ^= 1 << uint(t.rng.Intn(8))
 }
 
+// BindSession forwards the session binding to a wrapped streamed
+// transport, so fault injection composes with session-bound inners.
+func (t *FaultyTransport) BindSession(sess *protocol.Session) {
+	if b, ok := t.Inner.(sessionBinder); ok {
+		b.BindSession(sess)
+	}
+}
+
 // FetchRegistrationPage implements Transport.
 func (t *FaultyTransport) FetchRegistrationPage(now time.Duration) (*protocol.RegistrationPage, error) {
 	return faultyRound(t, "registration page", now, t.Inner.FetchRegistrationPage)

@@ -1,0 +1,107 @@
+package device
+
+import (
+	"fmt"
+	"io"
+
+	"trust/internal/sim"
+)
+
+// StreamFaultProfile configures framing-level faults on a streamed
+// connection — the failure modes a long-lived link adds on top of the
+// per-message loss FaultyTransport models: a write cut mid-frame (link
+// died with a partial frame on the wire) and a torn write (one frame
+// arriving in two pieces). The zero value injects nothing.
+type StreamFaultProfile struct {
+	// CutRate is the probability a frame write is cut partway: a prefix
+	// of the frame reaches the peer, then the connection closes. The
+	// reader on the far side sees a truncated frame and must tear the
+	// stream down without misparsing.
+	CutRate float64
+	// TearRate is the probability a frame write is split into two
+	// separate writes (no loss — exercises reassembly across partial
+	// arrivals).
+	TearRate float64
+	// HandshakeGrace exempts the first n writes of each connection from
+	// faults. Chaos sweeps set it to 1 so the hello always goes out
+	// whole: the profile models an established link degrading, and a
+	// faulted hello would trigger the transport's sticky HTTP downgrade
+	// instead of the reconnect path under test.
+	HandshakeGrace int
+}
+
+// StreamFaultStats counts what a FaultyDialer injected.
+type StreamFaultStats struct {
+	Conns int
+	Cuts  int
+	Tears int
+}
+
+// FaultyDialer wraps a stream dial function so every connection it
+// hands out injects seeded mid-frame faults. All draws come from a
+// sim.RNG at write time, and the stream transport serializes writes,
+// so the same seed and call sequence produce a byte-identical fault
+// schedule — chaos runs are exactly reproducible.
+type FaultyDialer struct {
+	Inner   func() (io.ReadWriteCloser, error)
+	Profile StreamFaultProfile
+	Stats   StreamFaultStats
+
+	rng *sim.RNG
+}
+
+// NewFaultyDialer wraps inner with the given profile, drawing all
+// fault decisions from rng.
+func NewFaultyDialer(inner func() (io.ReadWriteCloser, error), profile StreamFaultProfile, rng *sim.RNG) *FaultyDialer {
+	return &FaultyDialer{Inner: inner, Profile: profile, rng: rng}
+}
+
+// Dial opens a connection through the fault wrapper. Pass it as the
+// stream transport's Dial.
+func (d *FaultyDialer) Dial() (io.ReadWriteCloser, error) {
+	rwc, err := d.Inner()
+	if err != nil {
+		return nil, err
+	}
+	d.Stats.Conns++
+	return &faultyStreamConn{d: d, rwc: rwc}, nil
+}
+
+// faultyStreamConn injects write-side faults on one connection. Reads
+// pass through untouched: every client-side fault already propagates
+// to the server (a cut closes the pipe under the server's reader).
+type faultyStreamConn struct {
+	d      *FaultyDialer
+	rwc    io.ReadWriteCloser
+	writes int
+}
+
+func (c *faultyStreamConn) Read(p []byte) (int, error) { return c.rwc.Read(p) }
+
+func (c *faultyStreamConn) Close() error { return c.rwc.Close() }
+
+func (c *faultyStreamConn) Write(p []byte) (int, error) {
+	c.writes++
+	if c.writes > c.d.Profile.HandshakeGrace && len(p) > 0 {
+		if r := c.d.Profile.CutRate; r > 0 && c.d.rng.Bool(r) {
+			c.d.Stats.Cuts++
+			k := c.d.rng.Intn(len(p)) // 0..len-1: never the whole frame
+			if k > 0 {
+				c.rwc.Write(p[:k])
+			}
+			c.rwc.Close()
+			return k, fmt.Errorf("%w: stream cut mid-frame after %d of %d bytes", ErrNetwork, k, len(p))
+		}
+		if r := c.d.Profile.TearRate; r > 0 && len(p) > 1 && c.d.rng.Bool(r) {
+			c.d.Stats.Tears++
+			k := 1 + c.d.rng.Intn(len(p)-1)
+			n1, err := c.rwc.Write(p[:k])
+			if err != nil {
+				return n1, err
+			}
+			n2, err := c.rwc.Write(p[k:])
+			return n1 + n2, err
+		}
+	}
+	return c.rwc.Write(p)
+}

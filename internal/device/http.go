@@ -8,6 +8,8 @@ import (
 	"mime"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync"
 	"time"
 
 	"trust/internal/protocol"
@@ -35,9 +37,22 @@ func (t *HTTP) client() *http.Client {
 	return http.DefaultClient
 }
 
+// requestURL builds the endpoint URL. The hot path (no extra query
+// values) is a plain concatenation — url.Values plus Encode costs four
+// allocations per request for a query string that is always "now=N".
+func (t *HTTP) requestURL(path string, now time.Duration, extra url.Values) string {
+	if len(extra) == 0 {
+		return t.BaseURL + path + "?now=" + strconv.FormatInt(int64(now), 10)
+	}
+	q := url.Values{"now": {strconv.FormatInt(int64(now), 10)}}
+	for k, vs := range extra {
+		q[k] = vs
+	}
+	return t.BaseURL + path + "?" + q.Encode()
+}
+
 func (t *HTTP) get(path string, now time.Duration, out any) error {
-	u := fmt.Sprintf("%s%s?now=%d", t.BaseURL, path, int64(now))
-	req, err := http.NewRequest(http.MethodGet, u, nil)
+	req, err := http.NewRequest(http.MethodGet, t.requestURL(path, now, nil), nil)
 	if err != nil {
 		return err
 	}
@@ -54,25 +69,38 @@ func (t *HTTP) get(path string, now time.Duration, out any) error {
 	return t.decodeResponse(resp, out)
 }
 
+// postBody recycles request-body buffers and their readers: the
+// continuous-auth hot path posts one PageRequest per touch, and
+// marshalling each into a fresh slice plus a fresh reader dominated
+// the transport's client-side allocation profile. Safe to recycle
+// after Do returns — the transport has fully sent (or abandoned) the
+// body by then, and the buffer is not returned to the pool until the
+// response is decoded.
+type postBody struct {
+	buf []byte
+	rd  bytes.Reader
+}
+
+var postBodyPool = sync.Pool{New: func() any { return new(postBody) }}
+
 func (t *HTTP) post(path string, now time.Duration, extra url.Values, in, out any) error {
-	var body []byte
+	pb := postBodyPool.Get().(*postBody)
+	defer postBodyPool.Put(pb)
 	contentType := "application/json"
 	var err error
 	if t.Binary {
-		body, err = protocol.EncodeBinary(in)
+		pb.buf, err = protocol.EncodeBinaryAppend(pb.buf[:0], in)
 		contentType = binaryMIME
 	} else {
+		var body []byte
 		body, err = json.Marshal(in)
+		pb.buf = append(pb.buf[:0], body...)
 	}
 	if err != nil {
 		return err
 	}
-	q := url.Values{"now": {fmt.Sprint(int64(now))}}
-	for k, vs := range extra {
-		q[k] = vs
-	}
-	u := fmt.Sprintf("%s%s?%s", t.BaseURL, path, q.Encode())
-	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(body))
+	pb.rd.Reset(pb.buf)
+	req, err := http.NewRequest(http.MethodPost, t.requestURL(path, now, extra), &pb.rd)
 	if err != nil {
 		return err
 	}
@@ -96,16 +124,23 @@ const maxResponseBytes = 1 << 20
 // ErrResponseTooLarge reports a response body over maxResponseBytes.
 var ErrResponseTooLarge = fmt.Errorf("device: response body exceeds %d-byte cap", maxResponseBytes)
 
-// readBody buffers a response body, failing cleanly on oversize.
-func readBody(r io.Reader) ([]byte, error) {
-	data, err := io.ReadAll(io.LimitReader(r, maxResponseBytes+1))
+// respBufPool recycles response-read buffers. Recycling is safe
+// because neither decoder aliases its input: the binary reader copies
+// every byte slice and string out, and json.Unmarshal never retains
+// the data it parses.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBody buffers a response body into buf, failing cleanly on
+// oversize.
+func readBody(buf *bytes.Buffer, r io.Reader) error {
+	n, err := buf.ReadFrom(io.LimitReader(r, maxResponseBytes+1))
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if len(data) > maxResponseBytes {
-		return nil, ErrResponseTooLarge
+	if n > maxResponseBytes {
+		return ErrResponseTooLarge
 	}
-	return data, nil
+	return nil
 }
 
 func (t *HTTP) decodeResponse(resp *http.Response, out any) error {
@@ -123,11 +158,14 @@ func (t *HTTP) decodeResponse(resp *http.Response, out any) error {
 	// "application/octet-stream; charset=..." must still select the
 	// binary decoder, not fall through to JSON.
 	ct, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer respBufPool.Put(buf)
+	if err := readBody(buf, resp.Body); err != nil {
+		return err
+	}
+	data := buf.Bytes()
 	if ct == binaryMIME {
-		data, err := readBody(resp.Body)
-		if err != nil {
-			return err
-		}
 		msg, err := protocol.DecodeBinary(data)
 		if err != nil {
 			return err
@@ -150,10 +188,6 @@ func (t *HTTP) decodeResponse(resp *http.Response, out any) error {
 			}
 		}
 		return fmt.Errorf("device: binary response has unexpected type %T", msg)
-	}
-	data, err := readBody(resp.Body)
-	if err != nil {
-		return err
 	}
 	return json.Unmarshal(data, out)
 }

@@ -1,0 +1,638 @@
+package device
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"trust/internal/protocol"
+	"trust/internal/webserver"
+)
+
+// Stream is the multiplexed session transport: one long-lived framed
+// connection per device instead of one HTTP request per touch. The
+// registration and login flows (which predate a session) ride the
+// Fallback transport; once a session is bound, page requests, batches,
+// and resyncs travel as frames on the stream, with response nonces
+// walking the deterministic per-connection chain the welcome seeded —
+// no per-request connection setup, header parsing, or server entropy
+// draw on the continuous-auth hot path.
+//
+// Failure handling mirrors the paper's graceful-degradation stance:
+//
+//   - dial or hello fails → sticky downgrade, every call uses Fallback
+//     (the device keeps working over plain HTTP);
+//   - an ESTABLISHED stream dies (cut, torn frame, reorder) → the next
+//     submit redials and re-binds; the in-flight request surfaces as
+//     ErrNetwork so the retry layer redelivers, and a stale nonce after
+//     re-binding recovers through the ordinary bad-nonce resync path.
+type Stream struct {
+	// Dial opens a raw connection to the server's stream listener
+	// (net.Dial in deployment, net.Pipe or a fault-injecting wrapper in
+	// tests).
+	Dial func() (io.ReadWriteCloser, error)
+	// Fallback carries everything the stream cannot: pre-session flows
+	// always, and all traffic after a downgrade.
+	Fallback Transport
+	// OnPolicy, when non-nil, observes every server-pushed risk policy
+	// (welcome and policy-push frames) after MAC verification.
+	OnPolicy func(window, minVerified int)
+
+	mu   sync.Mutex
+	sess *protocol.Session
+	conn *streamClientConn
+	down bool // sticky: dial/hello failed, Fallback carries everything
+
+	// Stats counters (under mu).
+	dials     int
+	redials   int
+	downgrade int
+}
+
+var _ Transport = (*Stream)(nil)
+
+// StreamStats reports connection-lifecycle counts for tests and the
+// load harness.
+type StreamStats struct {
+	Dials      int
+	Redials    int
+	Downgrades int
+}
+
+// Stats snapshots the lifecycle counters.
+func (t *Stream) Stats() StreamStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return StreamStats{Dials: t.dials, Redials: t.redials, Downgrades: t.downgrade}
+}
+
+// Streaming reports whether the transport currently holds a live
+// stream (false before BindSession, after a downgrade, or between a
+// cut and the redial).
+func (t *Stream) Streaming() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.down && t.conn != nil && t.conn.alive()
+}
+
+// BindSession points the stream at an established session and eagerly
+// dials so the first Browse already has the chain nonce. A failed dial
+// downgrades to the Fallback transport; the device still works, so the
+// error is not surfaced.
+func (t *Stream) BindSession(sess *protocol.Session) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sess = sess
+	t.down = false
+	if t.conn != nil {
+		t.conn.fail(errors.New("device: stream rebound"))
+		t.conn = nil
+	}
+	if t.Dial == nil {
+		t.down = true
+		t.downgrade++
+		return
+	}
+	if err := t.redialLocked(); err != nil {
+		t.down = true
+		t.downgrade++
+	}
+}
+
+// live returns a connected stream, redialing a dead one. It fails —
+// and sticks the downgrade on dial/hello failure — rather than
+// silently falling back, so callers decide per method what the
+// fallback is.
+func (t *Stream) live() (*streamClientConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.down {
+		return nil, fmt.Errorf("%w: stream downgraded", ErrNetwork)
+	}
+	if t.sess == nil {
+		return nil, errors.New("device: stream has no bound session")
+	}
+	if t.conn != nil && t.conn.alive() {
+		return t.conn, nil
+	}
+	if t.conn != nil {
+		t.redials++
+	}
+	if err := t.redialLocked(); err != nil {
+		t.down = true
+		t.downgrade++
+		return nil, err
+	}
+	return t.conn, nil
+}
+
+// redialLocked dials and runs the hello/welcome exchange synchronously
+// (the reader goroutine starts only after the welcome, so the handshake
+// cannot race pushed frames). Caller holds t.mu.
+func (t *Stream) redialLocked() error {
+	rwc, err := t.Dial()
+	if err != nil {
+		return fmt.Errorf("%w: stream dial: %v", ErrNetwork, err)
+	}
+	hello, err := protocol.BuildStreamHello(t.sess)
+	if err != nil {
+		rwc.Close()
+		return err
+	}
+	hp, err := protocol.EncodeBinary(hello)
+	if err != nil {
+		rwc.Close()
+		return err
+	}
+	if err := protocol.WriteFrame(rwc, protocol.FrameHello, hp); err != nil {
+		rwc.Close()
+		return fmt.Errorf("%w: stream hello: %v", ErrNetwork, err)
+	}
+	// All reads on this connection — the welcome here and every frame
+	// the read loop consumes — share one buffered reader, halving the
+	// syscall count of ReadFrame's header+payload read pairs.
+	br := bufio.NewReaderSize(rwc, 32<<10)
+	ft, payload, err := protocol.ReadFrame(br)
+	if err != nil {
+		rwc.Close()
+		return fmt.Errorf("%w: stream welcome: %v", ErrNetwork, err)
+	}
+	var seed []byte
+	switch ft {
+	case protocol.FrameWelcome:
+		msg, err := protocol.DecodeBinary(payload)
+		if err != nil {
+			rwc.Close()
+			return err
+		}
+		w, ok := msg.(*protocol.StreamWelcome)
+		if !ok {
+			rwc.Close()
+			return fmt.Errorf("device: welcome frame carries %T", msg)
+		}
+		window, minVerified, err := protocol.AcceptStreamWelcome(t.sess, w)
+		if err != nil {
+			rwc.Close()
+			return err
+		}
+		seed = append([]byte(nil), w.NonceSeed...)
+		if t.OnPolicy != nil {
+			t.OnPolicy(window, minVerified)
+		}
+	case protocol.FrameAck:
+		_, code, detail, aerr := protocol.DecodeAck(payload)
+		rwc.Close()
+		if aerr != nil {
+			return aerr
+		}
+		return ackError(code, detail)
+	default:
+		rwc.Close()
+		return fmt.Errorf("device: stream handshake got %s frame", ft)
+	}
+	c := &streamClientConn{
+		rwc:      rwc,
+		br:       br,
+		chain:    protocol.NewNonceChain(t.sess.Key, seed),
+		sess:     t.sess,
+		seed:     seed,
+		onPolicy: t.OnPolicy,
+	}
+	t.conn = c
+	t.dials++
+	go c.readLoop()
+	return nil
+}
+
+// ackError converts an ack frame's wire code back into the typed
+// sentinel the HTTP transport would have produced, so the retry layer
+// classifies stream rejections identically.
+func ackError(code, detail string) error {
+	if base := webserver.ErrorFromCode(code); base != nil {
+		return fmt.Errorf("device: stream request rejected: %w (%s)", base, detail)
+	}
+	return fmt.Errorf("device: stream request rejected: %s (%s)", code, detail)
+}
+
+// PredictNonce returns the nonce the session will hold after `ahead`
+// more responses on the live stream — the chain value a batched
+// request at that offset must echo. ok is false when no live stream
+// exists (callers should fall back to sequential requests).
+func (t *Stream) PredictNonce(ahead int) (protocol.Nonce, bool) {
+	t.mu.Lock()
+	conn := t.conn
+	down := t.down
+	t.mu.Unlock()
+	if down || conn == nil || !conn.alive() {
+		return "", false
+	}
+	return conn.predictNonce(ahead), true
+}
+
+// FetchRegistrationPage implements Transport (pre-session: Fallback).
+func (t *Stream) FetchRegistrationPage(now time.Duration) (*protocol.RegistrationPage, error) {
+	return t.Fallback.FetchRegistrationPage(now)
+}
+
+// SubmitRegistration implements Transport (pre-session: Fallback).
+func (t *Stream) SubmitRegistration(now time.Duration, sub *protocol.RegistrationSubmit, recovery string) (protocol.RegistrationResult, error) {
+	return t.Fallback.SubmitRegistration(now, sub, recovery)
+}
+
+// FetchLoginPage implements Transport (pre-session: Fallback).
+func (t *Stream) FetchLoginPage(now time.Duration) (*protocol.LoginPage, error) {
+	return t.Fallback.FetchLoginPage(now)
+}
+
+// SubmitLogin implements Transport (pre-session: Fallback).
+func (t *Stream) SubmitLogin(now time.Duration, sub *protocol.LoginSubmit) (*protocol.ContentPage, error) {
+	return t.Fallback.SubmitLogin(now, sub)
+}
+
+// SubmitPageRequest implements Transport: a single-request touch batch
+// on the stream, or the Fallback after a downgrade.
+func (t *Stream) SubmitPageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
+	conn, err := t.live()
+	if err != nil {
+		if t.downgraded() {
+			return t.Fallback.SubmitPageRequest(now, req)
+		}
+		return nil, err
+	}
+	pages, err := conn.submitBatch(now, []*protocol.PageRequest{req})
+	if err != nil {
+		return nil, err
+	}
+	return pages[0], nil
+}
+
+// SubmitPageBatch sends several touch-authenticated requests in one
+// frame and returns their pages in order. The caller pre-computes each
+// request's chain nonce with PredictNonce.
+func (t *Stream) SubmitPageBatch(now time.Duration, reqs []*protocol.PageRequest) ([]*protocol.ContentPage, error) {
+	conn, err := t.live()
+	if err != nil {
+		return nil, err
+	}
+	return conn.submitBatch(now, reqs)
+}
+
+// SubmitResync implements Transport: a resync frame on the stream, or
+// the Fallback after a downgrade.
+func (t *Stream) SubmitResync(now time.Duration, req *protocol.ResyncRequest) (*protocol.ContentPage, error) {
+	conn, err := t.live()
+	if err != nil {
+		if t.downgraded() {
+			return t.Fallback.SubmitResync(now, req)
+		}
+		return nil, err
+	}
+	return conn.submitResync(now, req)
+}
+
+// Ping sends a heartbeat and waits for the server's echo, verifying it
+// round-tripped verbatim. Heartbeat cadence belongs to the caller
+// (virtual-time scheduled; see Device.ScheduleHeartbeats).
+func (t *Stream) Ping(now time.Duration) error {
+	conn, err := t.live()
+	if err != nil {
+		return err
+	}
+	return conn.ping(now)
+}
+
+// Close tears the live stream down (FrameBye, then close). The
+// transport stays usable: the next submit redials.
+func (t *Stream) Close() error {
+	t.mu.Lock()
+	conn := t.conn
+	t.conn = nil
+	t.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	conn.wmu.Lock()
+	_ = protocol.WriteFrame(conn.rwc, protocol.FrameBye, nil)
+	conn.wmu.Unlock()
+	conn.fail(errors.New("device: stream closed"))
+	return nil
+}
+
+func (t *Stream) downgraded() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.down
+}
+
+// streamClientConn is one live framed connection. A single reader
+// goroutine owns all reads and dispatches responses to waiters in FIFO
+// order — the server answers frames in the order they were sent, so
+// the head waiter always matches the next response, and any sequence
+// mismatch (a reordered, replayed, or misdirected frame) kills the
+// connection rather than risk pairing a response with the wrong touch.
+type streamClientConn struct {
+	rwc      io.ReadWriteCloser
+	br       *bufio.Reader        // buffers rwc; read-loop goroutine only
+	chain    *protocol.NonceChain // nonce prediction; device goroutine only
+	sess     *protocol.Session
+	seed     []byte // the welcome's nonce-chain seed
+	onPolicy func(window, minVerified int)
+
+	wmu     sync.Mutex // serializes writes AND waiter-enqueue ordering
+	nextSeq uint64     // frame sequence counter, under wmu
+
+	mu      sync.Mutex
+	err     error          // first fatal error; conn is dead once set
+	waiters []*frameWaiter // FIFO of outstanding batches/resyncs
+	hbs     []*hbWaiter    // FIFO of outstanding heartbeats
+	served  uint64         // pages received = chain position of sess.LastNonce
+	pushSeq uint64         // highest policy-push sequence accepted
+}
+
+// frameWaiter collects the responses to one request frame.
+type frameWaiter struct {
+	seq   uint64
+	want  int
+	pages []*protocol.ContentPage
+	err   error
+	done  chan struct{}
+}
+
+// hbWaiter waits for one heartbeat echo.
+type hbWaiter struct {
+	seq  uint64
+	now  time.Duration
+	done chan error
+}
+
+func (c *streamClientConn) alive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err == nil
+}
+
+func (c *streamClientConn) predictNonce(ahead int) protocol.Nonce {
+	c.mu.Lock()
+	served := c.served
+	c.mu.Unlock()
+	// c.chain is safe outside c.mu: only the device goroutine predicts
+	// nonces, and it owns the chain's scratch state.
+	return c.chain.At(served + uint64(ahead))
+}
+
+// fail marks the connection dead, closes it, and releases every waiter
+// with a retryable network error — the caller cannot know how much of
+// its request the server processed, which is exactly the ErrNetwork
+// contract the retry/resync layer is built for.
+func (c *streamClientConn) fail(cause error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = cause
+	waiters := c.waiters
+	hbs := c.hbs
+	c.waiters, c.hbs = nil, nil
+	c.mu.Unlock()
+	c.rwc.Close()
+	for _, w := range waiters {
+		w.err = fmt.Errorf("%w: stream failed: %v", ErrNetwork, cause)
+		close(w.done)
+	}
+	for _, h := range hbs {
+		h.done <- fmt.Errorf("%w: stream failed: %v", ErrNetwork, cause)
+	}
+}
+
+// send writes one frame and registers its waiter atomically with
+// respect to other senders, so waiter FIFO order matches wire order.
+func (c *streamClientConn) send(t protocol.FrameType, build func(seq uint64) ([]byte, error), w *frameWaiter, h *hbWaiter) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.nextSeq++
+	seq := c.nextSeq
+	payload, err := build(seq)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return fmt.Errorf("%w: stream failed: %v", ErrNetwork, err)
+	}
+	if w != nil {
+		w.seq = seq
+		c.waiters = append(c.waiters, w)
+	}
+	if h != nil {
+		h.seq = seq
+		c.hbs = append(c.hbs, h)
+	}
+	c.mu.Unlock()
+	if err := protocol.WriteFrame(c.rwc, t, payload); err != nil {
+		c.fail(fmt.Errorf("stream write: %w", err))
+		return fmt.Errorf("%w: stream write: %v", ErrNetwork, err)
+	}
+	return nil
+}
+
+// submitBatch sends reqs as one touch-batch frame and waits for all
+// their pages (or the error ack that ended the batch).
+func (c *streamClientConn) submitBatch(now time.Duration, reqs []*protocol.PageRequest) ([]*protocol.ContentPage, error) {
+	w := &frameWaiter{want: len(reqs), done: make(chan struct{})}
+	err := c.send(protocol.FrameTouchBatch, func(seq uint64) ([]byte, error) {
+		return protocol.EncodeTouchBatch(seq, now, reqs)
+	}, w, nil)
+	if err != nil {
+		return nil, err
+	}
+	<-w.done
+	if w.err != nil {
+		return nil, w.err
+	}
+	return w.pages, nil
+}
+
+// submitResync sends a resync frame and waits for the recovered page.
+func (c *streamClientConn) submitResync(now time.Duration, req *protocol.ResyncRequest) (*protocol.ContentPage, error) {
+	w := &frameWaiter{want: 1, done: make(chan struct{})}
+	err := c.send(protocol.FrameResync, func(seq uint64) ([]byte, error) {
+		return protocol.EncodeResyncFrame(seq, req)
+	}, w, nil)
+	if err != nil {
+		return nil, err
+	}
+	<-w.done
+	if w.err != nil {
+		return nil, w.err
+	}
+	return w.pages[0], nil
+}
+
+// ping sends a heartbeat and waits for its echo.
+func (c *streamClientConn) ping(now time.Duration) error {
+	h := &hbWaiter{now: now, done: make(chan error, 1)}
+	err := c.send(protocol.FrameHeartbeat, func(seq uint64) ([]byte, error) {
+		return protocol.EncodeHeartbeat(seq, now), nil
+	}, nil, h)
+	if err != nil {
+		return err
+	}
+	return <-h.done
+}
+
+// readLoop is the connection's single reader: it dispatches pages and
+// acks to the head request waiter, heartbeat echoes to the head
+// heartbeat waiter, and policy pushes to the OnPolicy callback, until
+// the connection dies.
+func (c *streamClientConn) readLoop() {
+	for {
+		ft, payload, err := protocol.ReadFrame(c.br)
+		if err != nil {
+			c.fail(fmt.Errorf("stream read: %w", err))
+			return
+		}
+		switch ft {
+		case protocol.FramePage:
+			seq, index, cp, err := protocol.DecodePageFrame(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			if err := c.deliverPage(seq, index, cp); err != nil {
+				c.fail(err)
+				return
+			}
+		case protocol.FrameAck:
+			seq, code, detail, err := protocol.DecodeAck(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			if err := c.deliverAck(seq, code, detail); err != nil {
+				c.fail(err)
+				return
+			}
+		case protocol.FrameHeartbeat:
+			seq, now, err := protocol.DecodeHeartbeat(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			if err := c.deliverHeartbeat(seq, now); err != nil {
+				c.fail(err)
+				return
+			}
+		case protocol.FramePolicyPush:
+			if err := c.acceptPolicyPush(payload); err != nil {
+				c.fail(err)
+				return
+			}
+		default:
+			c.fail(fmt.Errorf("device: unexpected %s frame on stream", ft))
+			return
+		}
+	}
+}
+
+// deliverPage routes one page response to the head waiter, enforcing
+// that it answers exactly the request the FIFO expects — any sequence
+// or index skew means frames were reordered or replayed in transit,
+// and the only safe reaction is to kill the connection before a page
+// gets paired with the wrong touch.
+func (c *streamClientConn) deliverPage(seq uint64, index int, cp *protocol.ContentPage) error {
+	c.mu.Lock()
+	if len(c.waiters) == 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("device: unsolicited page frame (seq %d)", seq)
+	}
+	w := c.waiters[0]
+	if seq != w.seq || index != len(w.pages) {
+		c.mu.Unlock()
+		return fmt.Errorf("device: page frame seq %d/%d does not match expected %d/%d", seq, index, w.seq, len(w.pages))
+	}
+	w.pages = append(w.pages, cp)
+	c.served++
+	finished := len(w.pages) == w.want
+	if finished {
+		c.waiters = c.waiters[1:]
+	}
+	c.mu.Unlock()
+	if finished {
+		close(w.done)
+	}
+	return nil
+}
+
+// deliverAck completes the head waiter with a typed error (the server
+// stops a batch at its first rejection).
+func (c *streamClientConn) deliverAck(seq uint64, code, detail string) error {
+	c.mu.Lock()
+	if len(c.waiters) == 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("device: unsolicited ack frame (%s)", code)
+	}
+	w := c.waiters[0]
+	if seq != w.seq {
+		c.mu.Unlock()
+		return fmt.Errorf("device: ack seq %d does not match expected %d", seq, w.seq)
+	}
+	c.waiters = c.waiters[1:]
+	c.mu.Unlock()
+	w.err = ackError(code, detail)
+	close(w.done)
+	return nil
+}
+
+// deliverHeartbeat completes the head heartbeat waiter, verifying the
+// echo is verbatim.
+func (c *streamClientConn) deliverHeartbeat(seq uint64, now time.Duration) error {
+	c.mu.Lock()
+	if len(c.hbs) == 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("device: unsolicited heartbeat echo (seq %d)", seq)
+	}
+	h := c.hbs[0]
+	c.hbs = c.hbs[1:]
+	c.mu.Unlock()
+	if seq != h.seq || now != h.now {
+		h.done <- fmt.Errorf("device: heartbeat echo %d/%v does not match %d/%v", seq, now, h.seq, h.now)
+		return errors.New("device: heartbeat echo mismatch")
+	}
+	h.done <- nil
+	return nil
+}
+
+// acceptPolicyPush verifies a server-initiated policy update (MAC plus
+// monotonic sequence, so a tightened policy cannot be rolled back by
+// replaying an older push) and hands it to the OnPolicy callback.
+func (c *streamClientConn) acceptPolicyPush(payload []byte) error {
+	msg, err := protocol.DecodeBinary(payload)
+	if err != nil {
+		return err
+	}
+	p, ok := msg.(*protocol.PolicyPush)
+	if !ok {
+		return fmt.Errorf("device: policy-push frame carries %T", msg)
+	}
+	c.mu.Lock()
+	last := c.pushSeq
+	c.mu.Unlock()
+	if err := protocol.VerifyPolicyPush(c.sess, p, last); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if p.Seq > c.pushSeq {
+		c.pushSeq = p.Seq
+	}
+	c.mu.Unlock()
+	if c.onPolicy != nil {
+		c.onPolicy(p.Window, p.MinVerified)
+	}
+	return nil
+}

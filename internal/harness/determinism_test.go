@@ -28,6 +28,7 @@ func TestSweptExperimentsWorkerCountInvariant(t *testing.T) {
 		{"XAttacks", XAttacks},
 		{"XFuzzyVault", XFuzzyVault},
 		{"XChaos", XChaos},
+		{"XStreamChaos", XStreamChaos},
 		{"Fig6", Fig6},
 	}
 	for _, e := range exps {

@@ -393,6 +393,7 @@ func AllResults(seed uint64) ([]Result, error) {
 		func() (Result, error) { return XNoise(seed) },
 		func() (Result, error) { return XPersonalization(seed) },
 		func() (Result, error) { return XChaos(seed) },
+		func() (Result, error) { return XStreamChaos(seed) },
 	}
 	var out []Result
 	for _, g := range gens {

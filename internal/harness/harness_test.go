@@ -434,6 +434,29 @@ func TestXChaosRetriesRescueLossySessions(t *testing.T) {
 	}
 }
 
+func TestXStreamChaosCutsNeverLoseSessions(t *testing.T) {
+	r, err := XStreamChaos(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean stream: every interaction acknowledged.
+	if got := r.Metrics["acked_cut0_budget2"]; got != 1 {
+		t.Fatalf("clean stream acked %.2f, want 1.0", got)
+	}
+	// A sane retry budget rides out heavy mid-frame cutting.
+	if got := r.Metrics["acked_cut30_budget8"]; got != 1 {
+		t.Fatalf("30%% cut rate with retry budget 8: acked %.2f, want 1.0", got)
+	}
+	// The acceptance invariant: no cut rate in the sweep loses a
+	// session or an enrollment — once the link heals, the server still
+	// recognizes every device.
+	for k, v := range r.Metrics {
+		if strings.HasPrefix(k, "lost_") && v != 0 {
+			t.Errorf("%s = %v, want 0 (streamed mode must never lose enrollments)", k, v)
+		}
+	}
+}
+
 func TestAllResultsComplete(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full regeneration is slow")
@@ -442,8 +465,8 @@ func TestAllResultsComplete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 26 {
-		t.Fatalf("%d artifacts, want 26 (2 tables + 10 figures + 14 extensions)", len(results))
+	if len(results) != 27 {
+		t.Fatalf("%d artifacts, want 27 (2 tables + 10 figures + 15 extensions)", len(results))
 	}
 	seen := map[string]bool{}
 	for _, r := range results {

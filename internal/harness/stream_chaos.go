@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"trust/internal/device"
+	"trust/internal/fingerprint"
+	"trust/internal/flock"
+	"trust/internal/geom"
+	"trust/internal/pki"
+	"trust/internal/placement"
+	"trust/internal/sim"
+	"trust/internal/touch"
+	"trust/internal/webserver"
+)
+
+// XStreamChaos is the streamed-transport counterpart of XChaos: it
+// sweeps mid-frame cut rate against retry budget over a live device
+// stream (hello/welcome, chained nonces, reconnect-and-resync) and
+// reports interaction survival plus the cost of each recovery. Torn
+// writes ride along at a fixed rate in every lossy cell — they are
+// loss-free by construction, so they exercise frame reassembly without
+// moving the metrics. The sweep's headline invariant is the last
+// column: however hard the link is cut, a cleanly-healed link must
+// always find the session intact — zero sessions lost, every
+// enrollment still serving.
+func XStreamChaos(seed uint64) (Result, error) {
+	cuts := []float64{0, 0.15, 0.3, 0.5}
+	budgets := []int{2, 4, 8}
+	const (
+		trials = 3
+		rounds = 10
+	)
+
+	type cell struct {
+		cut    float64
+		budget int
+	}
+	var cells []cell
+	for _, c := range cuts {
+		for _, b := range budgets {
+			cells = append(cells, cell{c, b})
+		}
+	}
+
+	outs, err := sim.ParMap(len(cells)*trials, func(idx int) (streamChaosOut, error) {
+		c, trial := cells[idx/trials], idx%trials
+		trialSeed := seed + uint64(idx*151+trial)
+		return streamChaosTrial(trialSeed, c.cut, c.budget, rounds)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	var rows [][]string
+	metrics := map[string]float64{}
+	for ci, c := range cells {
+		var agg streamChaosOut
+		for t := 0; t < trials; t++ {
+			o := outs[ci*trials+t]
+			agg.acked += o.acked
+			agg.degraded += o.degraded
+			agg.redials += o.redials
+			agg.cuts += o.cuts
+			agg.tears += o.tears
+			agg.recovery += o.recovery
+			agg.recovered += o.recovered
+			agg.lost += o.lost
+		}
+		total := trials * rounds
+		ackedFrac := float64(agg.acked) / float64(total)
+		meanRecovery := 0.0
+		if agg.recovered > 0 {
+			meanRecovery = float64(agg.recovery.Milliseconds()) / float64(agg.recovered)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", c.cut*100),
+			fmt.Sprintf("%d", c.budget),
+			fmt.Sprintf("%.1f%%", ackedFrac*100),
+			fmt.Sprintf("%.1f%%", float64(agg.degraded)/float64(total)*100),
+			fmt.Sprintf("%.2f", float64(agg.redials)/float64(total)),
+			fmt.Sprintf("%d", agg.cuts),
+			fmt.Sprintf("%d", agg.tears),
+			fmt.Sprintf("%.1f ms", meanRecovery),
+			fmt.Sprintf("%d", agg.lost),
+		})
+		metrics[fmt.Sprintf("acked_cut%.0f_budget%d", c.cut*100, c.budget)] = ackedFrac
+		metrics[fmt.Sprintf("lost_cut%.0f_budget%d", c.cut*100, c.budget)] = float64(agg.lost)
+	}
+	text := fmtTable(
+		[]string{"cut rate", "retry budget", "server-acked", "degraded rounds", "redials/round", "cuts", "tears", "mean recovery", "sessions lost"},
+		rows,
+	)
+	return Result{
+		ID:      "x-stream-chaos",
+		Title:   "Streamed-transport chaos sweep: mid-frame cuts vs retry budget (X14b)",
+		Text:    text,
+		Metrics: metrics,
+	}, nil
+}
+
+// streamChaosOut is one trial's tallies.
+type streamChaosOut struct {
+	acked, degraded int
+	redials         int           // stream redials across the lossy rounds
+	cuts, tears     int           // faults actually injected
+	recovery        time.Duration // backoff spent on recovered rounds
+	recovered       int           // rounds that needed a redial yet acked
+	lost            int           // 1 if the session did not survive to a clean final browse
+}
+
+// streamChaosTrial runs one device over a streamed transport: clean
+// enrollment and login, lossy continuous-auth rounds with mid-frame
+// cuts and torn writes, then a healed-link browse that must find the
+// session alive.
+func streamChaosTrial(trialSeed uint64, cut float64, budget, rounds int) (out streamChaosOut, err error) {
+	ca, err := pki.NewCA("trust-root", pki.NewDeterministicRand(trialSeed^0xc4a0))
+	if err != nil {
+		return out, err
+	}
+	srv, err := webserver.New("chaos.example", ca, trialSeed^0x5e7)
+	if err != nil {
+		return out, err
+	}
+	pl := placement.Placement{Sensors: []geom.Rect{geom.RectWH(180, 660, 120, 120)}}
+	mod, err := flock.New(flock.DefaultConfig(pl), ca, "chaos-phone", trialSeed+5)
+	if err != nil {
+		return out, err
+	}
+	finger := fingerprint.Synthesize(9000+trialSeed%3, fingerprint.PatternType(trialSeed%3))
+	if err := mod.Enroll(fingerprint.NewTemplate(finger)); err != nil {
+		return out, err
+	}
+
+	dial := func() (io.ReadWriteCloser, error) {
+		c1, c2 := net.Pipe()
+		go func() { _ = srv.ServeStream(c2) }()
+		return c1, nil
+	}
+	fd := device.NewFaultyDialer(dial, device.StreamFaultProfile{}, sim.NewRNG(trialSeed^0xfa01))
+	st := &device.Stream{Dial: fd.Dial, Fallback: &device.InMemory{Server: srv}}
+	dev := device.New("chaos-phone", mod, st)
+	dev.SetRetryPolicy(device.RetryPolicy{
+		MaxAttempts: budget,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    800 * time.Millisecond,
+		JitterFrac:  0.2,
+	}, sim.NewRNG(trialSeed^0xfa02))
+
+	now := time.Duration(0)
+	verify := func() error {
+		for a := 0; a < 40; a++ {
+			ev := touch.Event{At: now, Pos: geom.Point{X: 240, Y: 720}, Pressure: 0.7, RadiusMM: 4.2, SpeedMMS: 1}
+			if dev.Touch(ev, finger).Kind == flock.Matched {
+				return nil
+			}
+			now += 400 * time.Millisecond
+		}
+		return fmt.Errorf("harness: stream chaos device never touch-verified")
+	}
+
+	// Enrollment and login over the clean link; the hello goes out whole
+	// even in lossy rounds (HandshakeGrace), so the sweep measures an
+	// established stream degrading, not login-under-fire.
+	if err := verify(); err != nil {
+		return out, err
+	}
+	if err := dev.Register(now, "chaos-acct", "recovery-pw"); err != nil {
+		return out, err
+	}
+	if err := verify(); err != nil {
+		return out, err
+	}
+	if err := dev.Login(now, srv.Certificate(), "chaos-acct"); err != nil {
+		return out, err
+	}
+	if !st.Streaming() {
+		return out, fmt.Errorf("harness: stream chaos device not streaming after login")
+	}
+
+	fd.Profile = device.StreamFaultProfile{CutRate: cut, TearRate: 0.25 * minf(1, cut*4), HandshakeGrace: 1}
+	for r := 0; r < rounds; r++ {
+		if err := verify(); err != nil {
+			return out, err
+		}
+		redialsBefore := st.Stats().Redials
+		after, err := dev.BrowseResilient(now, fmt.Sprintf("page-%d", r%4))
+		if err != nil {
+			break
+		}
+		redials := st.Stats().Redials - redialsBefore
+		out.redials += redials
+		switch {
+		case dev.Degraded():
+			out.degraded++
+		default:
+			out.acked++
+			if redials > 0 {
+				out.recovered++
+				out.recovery += after - now
+			}
+		}
+		now = after
+	}
+	out.cuts = fd.Stats.Cuts
+	out.tears = fd.Stats.Tears
+
+	// Heal the link. Whatever the cuts did, the enrollment and session
+	// must have survived server-side: one resilient browse over the
+	// clean stream has to come back acked.
+	fd.Profile = device.StreamFaultProfile{}
+	if err := verify(); err != nil {
+		return out, err
+	}
+	after, err := dev.BrowseResilient(now, "home")
+	if err != nil || dev.Degraded() {
+		out.lost = 1
+	} else {
+		now = after
+	}
+	_ = st.Close()
+	return out, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

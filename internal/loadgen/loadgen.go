@@ -10,6 +10,8 @@ package loadgen
 
 import (
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -42,6 +44,11 @@ const (
 	// HTTPBinary drives a live httptest.Server with the compact binary
 	// codec.
 	HTTPBinary
+	// Stream drives the multiplexed framed transport over a live TCP
+	// loopback listener — one long-lived connection per device — with
+	// HTTP-binary as the pre-session/downgrade fallback. Same sockets as
+	// the HTTP scenarios, minus the per-request tax.
+	Stream
 )
 
 func (t Transport) String() string {
@@ -52,6 +59,8 @@ func (t Transport) String() string {
 		return "http-json"
 	case HTTPBinary:
 		return "http-binary"
+	case Stream:
+		return "stream"
 	}
 	return fmt.Sprintf("transport(%d)", int(t))
 }
@@ -94,13 +103,28 @@ type Config struct {
 	// RetryAttempts arms the devices' resilient flows with this total
 	// attempt budget; 0 leaves the historical fail-fast behavior.
 	RetryAttempts int
+	// StreamFaults, when non-zero on the Stream transport, injects
+	// deterministic framing faults (mid-frame cuts, torn writes) into
+	// the measured traffic. Needs RetryAttempts > 0 to survive cuts.
+	StreamFaults device.StreamFaultProfile
+	// Batch, when > 1 on the Stream transport with Mode PageRequest,
+	// makes each op a pipelined BrowseBatch of this many actions in one
+	// frame (per-op figures then cover the whole batch).
+	Batch int
 }
 
 // Name is the scenario's identifier in reports.
 func (c Config) Name() string {
-	name := fmt.Sprintf("%s_%s_%d", c.Mode, c.Transport, c.Devices)
+	mode := c.Mode.String()
+	if c.Batch > 1 {
+		mode = fmt.Sprintf("%s-batch%d", mode, c.Batch)
+	}
+	name := fmt.Sprintf("%s_%s_%d", mode, c.Transport, c.Devices)
 	if c.Faults.DropRate > 0 {
 		name += fmt.Sprintf("_drop%.0fr%d", c.Faults.DropRate*100, c.RetryAttempts)
+	}
+	if c.StreamFaults.CutRate > 0 {
+		name += fmt.Sprintf("_cut%.0fr%d", c.StreamFaults.CutRate*100, c.RetryAttempts)
 	}
 	return name
 }
@@ -125,6 +149,9 @@ type loadDevice struct {
 	// ft is the device's fault injector, present only in -faults
 	// scenarios; its profile is armed after the clean build phase.
 	ft *device.FaultyTransport
+	// fd is the device's stream-framing fault injector (Stream
+	// transport only); armed after the clean build phase like ft.
+	fd *device.FaultyDialer
 }
 
 // fleet is a fully constructed scenario ready to measure.
@@ -133,6 +160,7 @@ type fleet struct {
 	server  *webserver.Server
 	cert    *pki.Certificate
 	ts      *httptest.Server
+	ln      net.Listener
 	devices []*loadDevice
 }
 
@@ -153,18 +181,44 @@ func build(cfg Config) (*fleet, error) {
 	}
 	fl := &fleet{cfg: cfg, server: srv, cert: srv.Certificate()}
 
-	var mkTransport func(i int) device.Transport
+	var mkTransport func(i int, ld *loadDevice) device.Transport
 	switch cfg.Transport {
 	case Direct:
-		mkTransport = func(int) device.Transport { return &device.InMemory{Server: srv} }
+		mkTransport = func(int, *loadDevice) device.Transport { return &device.InMemory{Server: srv} }
 	case HTTPJSON, HTTPBinary:
 		fl.ts = httptest.NewServer(srv.Handler())
 		client := &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        cfg.Devices * 2,
 			MaxIdleConnsPerHost: cfg.Devices * 2,
 		}}
-		mkTransport = func(int) device.Transport {
+		mkTransport = func(int, *loadDevice) device.Transport {
 			return &device.HTTP{BaseURL: fl.ts.URL, Client: client, Binary: cfg.Transport == HTTPBinary}
+		}
+	case Stream:
+		fl.ts = httptest.NewServer(srv.Handler())
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.Devices * 2,
+			MaxIdleConnsPerHost: cfg.Devices * 2,
+		}}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fl.close()
+			return nil, fmt.Errorf("loadgen: stream listener: %w", err)
+		}
+		fl.ln = ln
+		go srv.ServeStreamListener(ln)
+		addr := ln.Addr().String()
+		mkTransport = func(i int, ld *loadDevice) device.Transport {
+			dial := func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) }
+			if cfg.StreamFaults != (device.StreamFaultProfile{}) {
+				// Build clean; the profile is armed after login with ft's.
+				ld.fd = device.NewFaultyDialer(dial, device.StreamFaultProfile{}, sim.NewRNG(cfg.Seed^0xfa02+uint64(i)*41))
+				dial = ld.fd.Dial
+			}
+			return &device.Stream{
+				Dial:     dial,
+				Fallback: &device.HTTP{BaseURL: fl.ts.URL, Client: client, Binary: true},
+			}
 		}
 	default:
 		return nil, fmt.Errorf("loadgen: unknown transport %v", cfg.Transport)
@@ -182,9 +236,9 @@ func build(cfg Config) (*fleet, error) {
 			fl.close()
 			return nil, err
 		}
-		faulty := cfg.Faults != (device.FaultProfile{}) || cfg.RetryAttempts > 0
-		tr := mkTransport(i)
+		faulty := cfg.Faults != (device.FaultProfile{}) || (cfg.RetryAttempts > 0 && cfg.Transport != Stream)
 		ld := &loadDevice{}
+		tr := mkTransport(i, ld)
 		if faulty {
 			// Build-phase traffic runs through the wrapper with a clean
 			// profile; the real profile is armed after login.
@@ -231,6 +285,9 @@ func build(cfg Config) (*fleet, error) {
 		if ld.ft != nil {
 			ld.ft.Profile = cfg.Faults
 		}
+		if ld.fd != nil {
+			ld.fd.Profile = cfg.StreamFaults
+		}
 	}
 	return fl, nil
 }
@@ -240,6 +297,9 @@ func account(i int) string { return fmt.Sprintf("load-acct-%d", i) }
 func (fl *fleet) close() {
 	if fl.ts != nil {
 		fl.ts.Close()
+	}
+	if fl.ln != nil {
+		fl.ln.Close()
 	}
 }
 
@@ -262,6 +322,16 @@ func (fl *fleet) op(i, iter int) error {
 		action := "view-statement"
 		if iter%2 == 1 {
 			action = "home"
+		}
+		if fl.cfg.Batch > 1 {
+			actions := make([]string, fl.cfg.Batch)
+			for j := range actions {
+				actions[j] = action
+				if (iter+j)%2 == 1 {
+					actions[j] = "home"
+				}
+			}
+			return ld.dev.BrowseBatch(ld.now, actions)
 		}
 		if resilient {
 			_, err := ld.dev.BrowseResilient(ld.now, action)
@@ -345,6 +415,21 @@ func Run(cfg Config) (Result, error) {
 	}
 	if s := res.T.Seconds(); s > 0 {
 		out.OpsPerSec = float64(res.N) / s
+	}
+	if cfg.Batch > 1 {
+		// Batch rows report per page-request figures: one measured op
+		// carried Batch pipelined requests on a single round trip, so
+		// every per-op number is divided out (the scenario name keeps
+		// the batch size). This is what makes batch rows comparable to
+		// the one-request-per-round-trip rows above them.
+		n := int64(cfg.Batch)
+		out.Ops *= cfg.Batch
+		out.NsPerOp /= n
+		out.AllocsPerOp /= n
+		out.BytesPerOp /= n
+		out.P50Ns /= n
+		out.P99Ns /= n
+		out.OpsPerSec *= float64(cfg.Batch)
 	}
 	return out, nil
 }

@@ -1,0 +1,20 @@
+package loadgen
+
+import "testing"
+
+// BenchmarkStreamBatchOp profiles the streamed batch hot path (used
+// with -cpuprofile to attribute the per-request budget; the real
+// scenario matrix lives in benchtab -server-json).
+func BenchmarkStreamBatchOp(b *testing.B) {
+	fl, err := build(Config{Devices: 1, Transport: Stream, Mode: PageRequest, Seed: 1, Batch: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fl.close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fl.op(0, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

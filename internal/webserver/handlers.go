@@ -147,6 +147,15 @@ func (s *Server) HandleLogin(now time.Duration, sub *protocol.LoginSubmit) (*pro
 // session serialize (the nonce echo demands it), requests on different
 // sessions run in parallel.
 func (s *Server) HandlePageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
+	return s.handlePageRequest(now, req, s.mintNonce)
+}
+
+// handlePageRequest is the shared page-request core. nextNonce supplies
+// the response nonce and is consulted only on the success path: the
+// HTTP handlers mint from the entropy stream, the stream endpoint walks
+// its per-connection nonce chain (stream.go) so the streamed hot path
+// never touches the entropy lock.
+func (s *Server) handlePageRequest(now time.Duration, req *protocol.PageRequest, nextNonce func() protocol.Nonce) (*protocol.ContentPage, error) {
 	if req == nil || req.Domain != s.domain {
 		s.rejected.Add(1)
 		return nil, fmt.Errorf("%w: page request", ErrMalformed)
@@ -162,7 +171,7 @@ func (s *Server) HandlePageRequest(now time.Duration, req *protocol.PageRequest)
 		s.rejected.Add(1)
 		return nil, ErrUnknownSession
 	}
-	if !pki.CheckMAC(sess.key, req.MACBytes(), req.MAC) {
+	if !sess.macState().Check(req.MACBytes(), req.MAC) {
 		s.rejected.Add(1)
 		return nil, ErrBadMAC
 	}
@@ -180,7 +189,7 @@ func (s *Server) HandlePageRequest(now time.Duration, req *protocol.PageRequest)
 	// when touching — the page this session was last served.
 	s.audit.Append(frame.AuditEntry{Account: req.Account, PageURL: sess.lastPage, Hash: req.FrameHash, At: now})
 	s.accepted.Add(1)
-	return s.contentPage(sess, s.PageForAction(req.Action)), nil
+	return s.contentPageNonce(sess, s.PageForAction(req.Action), nextNonce()), nil
 }
 
 // HandleResync re-serves a session's last page under a fresh nonce for
@@ -190,6 +199,12 @@ func (s *Server) HandlePageRequest(now time.Duration, req *protocol.PageRequest)
 // frame hash is logged and the risk policy is not consulted — resync
 // can recover a session's nonce state but never advance the session.
 func (s *Server) HandleResync(now time.Duration, req *protocol.ResyncRequest) (*protocol.ContentPage, error) {
+	return s.handleResync(now, req, s.mintNonce)
+}
+
+// handleResync is the shared resync core; see handlePageRequest for
+// the nextNonce split.
+func (s *Server) handleResync(now time.Duration, req *protocol.ResyncRequest, nextNonce func() protocol.Nonce) (*protocol.ContentPage, error) {
 	if req == nil || req.Domain != s.domain {
 		s.rejected.Add(1)
 		return nil, fmt.Errorf("%w: resync request", ErrMalformed)
@@ -205,19 +220,26 @@ func (s *Server) HandleResync(now time.Duration, req *protocol.ResyncRequest) (*
 		s.rejected.Add(1)
 		return nil, ErrUnknownSession
 	}
-	if !pki.CheckMAC(sess.key, req.MACBytes(), req.MAC) {
+	if !sess.macState().Check(req.MACBytes(), req.MAC) {
 		s.rejected.Add(1)
 		return nil, ErrBadMAC
 	}
 	s.accepted.Add(1)
-	return s.contentPage(sess, s.page(sess.lastPage)), nil
+	return s.contentPageNonce(sess, s.page(sess.lastPage), nextNonce()), nil
 }
 
-// contentPage builds the MAC'd response and rotates the session nonce.
-// The caller must own the session: either it is freshly created and
-// not yet published, or its mutex is held.
+// contentPage builds the MAC'd response and rotates the session nonce,
+// minting the nonce from the entropy stream. The caller must own the
+// session: either it is freshly created and not yet published, or its
+// mutex is held.
 func (s *Server) contentPage(sess *session, page *frame.Page) *protocol.ContentPage {
-	nonce := s.mintNonce()
+	return s.contentPageNonce(sess, page, s.mintNonce())
+}
+
+// contentPageNonce is contentPage with the caller supplying the next
+// session nonce (the stream endpoint's chain-derived nonces take this
+// path).
+func (s *Server) contentPageNonce(sess *session, page *frame.Page, nonce protocol.Nonce) *protocol.ContentPage {
 	sess.lastNonce = nonce
 	sess.lastPage = page.URL
 	msg := &protocol.ContentPage{
@@ -227,7 +249,7 @@ func (s *Server) contentPage(sess *session, page *frame.Page) *protocol.ContentP
 		Account:   sess.account,
 		Page:      page,
 	}
-	msg.MAC = pki.MAC(sess.key, msg.MACBytes())
+	msg.MAC = sess.macState().MAC(msg.MACBytes())
 	return msg
 }
 

@@ -65,6 +65,19 @@ func writeError(w http.ResponseWriter, err error) {
 	http.Error(w, err.Error(), http.StatusForbidden)
 }
 
+// wireCode returns the wire code for a handler rejection, or "" when
+// the error is outside the table. The stream endpoint rides these
+// same codes in its ack frames, so both transports surface identical
+// typed rejections.
+func wireCode(err error) string {
+	for _, we := range wireErrors {
+		if errors.Is(err, we.err) {
+			return we.code
+		}
+	}
+	return ""
+}
+
 // ErrorFromCode maps a wire code from ErrorHeader back to its sentinel
 // error; unknown codes return nil.
 func ErrorFromCode(code string) error {

@@ -79,6 +79,7 @@ type session struct {
 	key     []byte
 
 	mu        sync.Mutex
+	macer     *pki.MACer // reusable HMAC state for key; access under mu
 	lastNonce protocol.Nonce
 	// lastPage is the URL of the page most recently served on this
 	// session — the page the user is viewing when the next request's
@@ -87,6 +88,18 @@ type session struct {
 	lastPage string
 	requests int
 	revoked  bool
+}
+
+// macState returns the session's reusable HMAC instance, building it
+// on first use. The caller must own the session (mutex held, or the
+// session not yet published) — the instance is single-owner state,
+// which is why HumanOriginated's unlocked MAC check stays on the
+// stateless pki.CheckMAC instead.
+func (sess *session) macState() *pki.MACer {
+	if sess.macer == nil {
+		sess.macer = pki.NewMACer(sess.key)
+	}
+	return sess.macer
 }
 
 // Server is one TRUST-enabled web service.
@@ -117,6 +130,11 @@ type Server struct {
 	policy   atomic.Pointer[RiskPolicy]
 	audit    frame.AuditLog
 	screenPX float64
+
+	// streams is the live device-stream registry (stream.go): touched at
+	// connect/teardown and on policy pushes, never on the request path.
+	streamsMu sync.Mutex
+	streams   map[*streamConn]struct{}
 
 	// MaxLoginFailures is the per-account failure budget; accounts lock
 	// after this many failures until ResetIdentity or a successful
@@ -169,8 +187,14 @@ func (s *Server) Domain() string { return s.domain }
 // Certificate returns the server's CA-signed certificate.
 func (s *Server) Certificate() *pki.Certificate { return s.cert.Clone() }
 
-// SetRiskPolicy overrides the continuous-auth policy.
-func (s *Server) SetRiskPolicy(p RiskPolicy) { s.policy.Store(&p) }
+// SetRiskPolicy overrides the continuous-auth policy. Devices on the
+// streamed transport learn the new policy immediately via a MAC'd
+// server push; HTTP devices pick it up the usual way, on their next
+// rejected-or-accepted request.
+func (s *Server) SetRiskPolicy(p RiskPolicy) {
+	s.policy.Store(&p)
+	s.pushPolicy(p)
+}
 
 // riskPolicy returns the active policy.
 func (s *Server) riskPolicy() RiskPolicy { return *s.policy.Load() }

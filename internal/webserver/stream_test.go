@@ -1,0 +1,397 @@
+package webserver
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"trust/internal/protocol"
+)
+
+// openStream dials a net.Pipe into ServeStream and completes the
+// hello/welcome handshake by hand, returning the client end, the
+// welcome, and the ServeStream exit channel.
+func openStream(t *testing.T, r *rig, sess *protocol.Session) (io.ReadWriteCloser, *protocol.StreamWelcome, chan error) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	exit := make(chan error, 1)
+	go func() { exit <- r.server.ServeStream(c2) }()
+	hello, err := protocol.BuildStreamHello(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := protocol.EncodeBinary(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := protocol.WriteFrame(c1, protocol.FrameHello, hp); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err := protocol.ReadFrame(c1)
+	if err != nil {
+		t.Fatalf("handshake read: %v", err)
+	}
+	if ft != protocol.FrameWelcome {
+		t.Fatalf("handshake got %s frame", ft)
+	}
+	msg, err := protocol.DecodeBinary(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := msg.(*protocol.StreamWelcome)
+	if !ok {
+		t.Fatalf("welcome carries %T", msg)
+	}
+	if _, _, err := protocol.AcceptStreamWelcome(sess, w); err != nil {
+		t.Fatalf("welcome rejected by client: %v", err)
+	}
+	return c1, w, exit
+}
+
+// expectAck reads one frame and asserts it is an ack with the given
+// code.
+func expectAck(t *testing.T, conn io.Reader, wantCode string) {
+	t.Helper()
+	ft, payload, err := protocol.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("reading ack: %v", err)
+	}
+	if ft != protocol.FrameAck {
+		t.Fatalf("got %s frame, want ack", ft)
+	}
+	_, code, detail, err := protocol.DecodeAck(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != wantCode {
+		t.Fatalf("ack code %q (%s), want %q", code, detail, wantCode)
+	}
+}
+
+func TestServeStreamBatchHappyPath(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "acct")
+	sess, _ := r.login(t, "acct")
+	conn, w, _ := openStream(t, r, sess)
+	defer conn.Close()
+
+	// The welcome seeds the deterministic chain: the client can build a
+	// 3-request batch whose later requests echo nonces the server has
+	// not issued yet.
+	r.touchButton(t)
+	var reqs []*protocol.PageRequest
+	for i := 0; i < 3; i++ {
+		nonce := protocol.StreamNonce(sess.Key, w.NonceSeed, uint64(i))
+		req, err := r.client.BuildPageRequestAt(r.now, sess, "home", 12, nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, req)
+	}
+	payload, err := protocol.EncodeTouchBatch(1, r.now, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := protocol.WriteFrame(conn, protocol.FrameTouchBatch, payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ft, pp, err := protocol.ReadFrame(conn)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if ft != protocol.FramePage {
+			t.Fatalf("response %d is %s", i, ft)
+		}
+		seq, index, cp, err := protocol.DecodePageFrame(pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != 1 || index != i {
+			t.Fatalf("response %d labeled %d/%d", i, seq, index)
+		}
+		if err := r.client.AcceptContentPage(sess, cp); err != nil {
+			t.Fatalf("response %d rejected: %v", i, err)
+		}
+		if want := protocol.StreamNonce(sess.Key, w.NonceSeed, uint64(i+1)); cp.Nonce != want {
+			t.Fatalf("response %d nonce off the chain", i)
+		}
+	}
+	if got, _ := SessionRequestsForTest(r.server, sess.ID); got != 3 {
+		t.Fatalf("session served %d requests, want 3", got)
+	}
+}
+
+func TestServeStreamHelloRejections(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "acct")
+	sess, _ := r.login(t, "acct")
+
+	dial := func() (io.ReadWriteCloser, chan error) {
+		c1, c2 := net.Pipe()
+		exit := make(chan error, 1)
+		go func() { exit <- r.server.ServeStream(c2) }()
+		return c1, exit
+	}
+	sendHello := func(conn io.Writer, h *protocol.StreamHello) {
+		t.Helper()
+		hp, err := protocol.EncodeBinary(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := protocol.WriteFrame(conn, protocol.FrameHello, hp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bad MAC.
+	conn, exit := dial()
+	h, _ := protocol.BuildStreamHello(sess)
+	h.MAC[0] ^= 1
+	sendHello(conn, h)
+	expectAck(t, conn, "bad-mac")
+	if err := <-exit; !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("bad-mac hello exit: %v", err)
+	}
+	conn.Close()
+
+	// Unknown session.
+	conn, exit = dial()
+	bogus := &protocol.Session{Domain: sess.Domain, Account: sess.Account, ID: "no-such-session", Key: sess.Key}
+	h, _ = protocol.BuildStreamHello(bogus)
+	sendHello(conn, h)
+	expectAck(t, conn, "unknown-session")
+	<-exit
+	conn.Close()
+
+	// First frame is not a hello.
+	conn, exit = dial()
+	if err := protocol.WriteFrame(conn, protocol.FrameHeartbeat, protocol.EncodeHeartbeat(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	expectAck(t, conn, "malformed")
+	if err := <-exit; !errors.Is(err, ErrMalformed) {
+		t.Fatalf("non-hello exit: %v", err)
+	}
+	conn.Close()
+
+	if r.server.StreamCount() != 0 {
+		t.Fatal("rejected handshakes left registered streams")
+	}
+}
+
+// TestServeStreamDuplicateBatchIdempotent verifies at-least-once
+// delivery safety: replaying a delivered touch-batch frame cannot
+// double-apply — the nonces were consumed by the first pass, so every
+// duplicate dies on bad-nonce with no session-state side effects.
+func TestServeStreamDuplicateBatchIdempotent(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "acct")
+	sess, _ := r.login(t, "acct")
+	conn, w, _ := openStream(t, r, sess)
+	defer conn.Close()
+
+	r.touchButton(t)
+	req, err := r.client.BuildPageRequestAt(r.now, sess, "home", 12, protocol.StreamNonce(sess.Key, w.NonceSeed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := protocol.EncodeTouchBatch(1, r.now, []*protocol.PageRequest{req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := protocol.WriteFrame(conn, protocol.FrameTouchBatch, payload); err != nil {
+		t.Fatal(err)
+	}
+	ft, pp, err := protocol.ReadFrame(conn)
+	if err != nil || ft != protocol.FramePage {
+		t.Fatalf("first delivery: %s %v", ft, err)
+	}
+	_, _, cp, err := protocol.DecodePageFrame(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.AcceptContentPage(sess, cp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the identical frame: rejected, nothing applied.
+	before, _ := SessionRequestsForTest(r.server, sess.ID)
+	if err := protocol.WriteFrame(conn, protocol.FrameTouchBatch, payload); err != nil {
+		t.Fatal(err)
+	}
+	expectAck(t, conn, "bad-nonce")
+	if after, _ := SessionRequestsForTest(r.server, sess.ID); after != before {
+		t.Fatalf("duplicate advanced the session: %d -> %d", before, after)
+	}
+
+	// The chain is intact: the next in-order request still succeeds.
+	r.touchButton(t)
+	req2, err := r.client.BuildPageRequestAt(r.now, sess, "home", 12, sess.LastNonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := protocol.EncodeTouchBatch(2, r.now, []*protocol.PageRequest{req2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := protocol.WriteFrame(conn, protocol.FrameTouchBatch, p2); err != nil {
+		t.Fatal(err)
+	}
+	if ft, _, err := protocol.ReadFrame(conn); err != nil || ft != protocol.FramePage {
+		t.Fatalf("post-duplicate request: %s %v", ft, err)
+	}
+}
+
+// TestServeStreamReplayedHelloStallsButNeverAdvances pins the hello's
+// security bound: an attacker replaying a captured hello on a new
+// connection resets the session's nonce chain (a stall the legitimate
+// device recovers from via resync) but can never advance the session —
+// the replayed connection holds no session key, so every request it
+// could send dies on MAC or nonce.
+func TestServeStreamReplayedHelloStallsButNeverAdvances(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "acct")
+	sess, _ := r.login(t, "acct")
+	conn, w, _ := openStream(t, r, sess)
+	defer conn.Close()
+
+	// Capture the hello bytes and replay them on a second connection.
+	hello, _ := protocol.BuildStreamHello(sess)
+	hp, _ := protocol.EncodeBinary(hello)
+	c1, c2 := net.Pipe()
+	go r.server.ServeStream(c2)
+	if err := protocol.WriteFrame(c1, protocol.FrameHello, hp); err != nil {
+		t.Fatal(err)
+	}
+	if ft, _, err := protocol.ReadFrame(c1); err != nil || ft != protocol.FrameWelcome {
+		t.Fatalf("replayed hello: %s %v", ft, err)
+	}
+
+	// The replay reset the chain: the device's first-conn nonce is now
+	// stale, so its request stalls on bad-nonce...
+	before, _ := SessionRequestsForTest(r.server, sess.ID)
+	r.touchButton(t)
+	req, err := r.client.BuildPageRequestAt(r.now, sess, "home", 12, protocol.StreamNonce(sess.Key, w.NonceSeed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := protocol.EncodeTouchBatch(1, r.now, []*protocol.PageRequest{req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := protocol.WriteFrame(conn, protocol.FrameTouchBatch, payload); err != nil {
+		t.Fatal(err)
+	}
+	expectAck(t, conn, "bad-nonce")
+	if after, _ := SessionRequestsForTest(r.server, sess.ID); after != before {
+		t.Fatalf("stalled request advanced the session: %d -> %d", before, after)
+	}
+	c1.Close()
+}
+
+func TestServeStreamHeartbeatEcho(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "acct")
+	sess, _ := r.login(t, "acct")
+	conn, _, _ := openStream(t, r, sess)
+	defer conn.Close()
+
+	if err := protocol.WriteFrame(conn, protocol.FrameHeartbeat, protocol.EncodeHeartbeat(9, 4*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err := protocol.ReadFrame(conn)
+	if err != nil || ft != protocol.FrameHeartbeat {
+		t.Fatalf("echo: %s %v", ft, err)
+	}
+	seq, now, err := protocol.DecodeHeartbeat(payload)
+	if err != nil || seq != 9 || now != 4*time.Second {
+		t.Fatalf("echo payload %d %v %v", seq, now, err)
+	}
+}
+
+// TestServeStreamMidFrameCutTearsDownCleanly verifies a connection cut
+// mid-frame kills the read loop with a framing error and unregisters
+// the stream, while the session itself survives untouched.
+func TestServeStreamMidFrameCutTearsDownCleanly(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "acct")
+	sess, _ := r.login(t, "acct")
+	conn, _, exit := openStream(t, r, sess)
+
+	if r.server.StreamCount() != 1 {
+		t.Fatal("stream not registered")
+	}
+	// Write the first half of a frame, then vanish.
+	var partial [7]byte
+	partial[0] = byte(protocol.FrameTouchBatch)
+	partial[4] = 64 // claims a 64-byte payload; only 2 arrive
+	if _, err := conn.Write(partial[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := <-exit; err == nil {
+		t.Fatal("mid-frame cut reported as clean teardown")
+	}
+	if r.server.StreamCount() != 0 {
+		t.Fatal("dead stream still registered")
+	}
+	// The session is intact: the ordinary HTTP path still serves it
+	// after a resync (the cut never reached the handlers).
+	rr, err := r.client.BuildResync(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := r.server.HandleResync(r.now, rr)
+	if err != nil {
+		t.Fatalf("session damaged by cut: %v", err)
+	}
+	if err := r.client.AcceptContentPage(sess, cp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeStreamByeCleanTeardown verifies the explicit teardown frame.
+func TestServeStreamByeCleanTeardown(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "acct")
+	sess, _ := r.login(t, "acct")
+	conn, _, exit := openStream(t, r, sess)
+	if err := protocol.WriteFrame(conn, protocol.FrameBye, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-exit; err != nil {
+		t.Fatalf("bye teardown: %v", err)
+	}
+	if r.server.StreamCount() != 0 {
+		t.Fatal("stream still registered after bye")
+	}
+	conn.Close()
+}
+
+// TestServeStreamWelcomeNonceMatchesChain pins the seed→chain binding:
+// after the hello the session's nonce is exactly StreamNonce(key,
+// seed, 0), so HTTP and stream requests interleave on one shared
+// lastNonce.
+func TestServeStreamWelcomeNonceMatchesChain(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "acct")
+	sess, _ := r.login(t, "acct")
+	conn, w, _ := openStream(t, r, sess)
+	defer conn.Close()
+	if sess.LastNonce != protocol.StreamNonce(sess.Key, w.NonceSeed, 0) {
+		t.Fatal("client chain head mismatch")
+	}
+	// An HTTP-path page request echoing the chain head succeeds: the
+	// transports share the session's nonce state.
+	r.touchButton(t)
+	req, err := r.client.BuildPageRequestAt(r.now, sess, "home", 12, sess.LastNonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.server.HandlePageRequest(r.now, req); err != nil {
+		t.Fatalf("HTTP request off the stream chain head: %v", err)
+	}
+}
