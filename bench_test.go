@@ -182,10 +182,29 @@ func BenchmarkStreamChaos(b *testing.B) {
 }
 
 // BenchmarkTrustlint measures the wall time of the full static-analysis
-// sweep (cmd/trustlint over every package in the module), so analyzer
-// cost is tracked in BENCH_harness.json like the artifact generators.
+// sweep (cmd/trustlint over every package in the module) with the
+// package-list cache warm, so analyzer cost is tracked in
+// BENCH_harness.json like the artifact generators.
 func BenchmarkTrustlint(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		findings, err := analysis.Lint(".", "./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) > 0 {
+			b.Fatalf("tree has %d trustlint finding(s); run go run ./cmd/trustlint ./...", len(findings))
+		}
+	}
+}
+
+// BenchmarkTrustlintColdList is the same sweep with the package-list
+// cache dropped every iteration, so each run pays the full
+// `go list -export -deps -test -json` enumeration — the first-run cost
+// a fresh trustlint process sees. The gap to BenchmarkTrustlint is what
+// the cache buys.
+func BenchmarkTrustlintColdList(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		analysis.ResetListCache()
 		findings, err := analysis.Lint(".", "./...")
 		if err != nil {
 			b.Fatal(err)

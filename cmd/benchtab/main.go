@@ -265,28 +265,42 @@ func writeBenchJSON(path string, seed uint64) error {
 		fmt.Fprintf(os.Stderr, "%-16s %12d ns/op %12d allocs/op\n", g.name, res.NsPerOp(), res.AllocsPerOp())
 	}
 	// The static-analysis sweep runs on every verify, so its cost is
-	// tracked alongside the artifact generators (BenchmarkTrustlint in
-	// bench_test.go mirrors this entry).
-	var lintErr error
-	res := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			findings, err := analysis.Lint(".", "./...")
-			if err != nil {
-				lintErr = err
-				b.FailNow()
-			}
-			if len(findings) > 0 {
-				lintErr = fmt.Errorf("tree has %d trustlint finding(s)", len(findings))
-				b.FailNow()
-			}
-		}
-	})
-	if lintErr != nil {
-		return fmt.Errorf("Trustlint: %w", lintErr)
+	// tracked alongside the artifact generators (BenchmarkTrustlint /
+	// BenchmarkTrustlintColdList in bench_test.go mirror these entries).
+	// TrustlintColdList drops the package-list cache each iteration —
+	// the first-run cost of a fresh process; Trustlint keeps it warm.
+	lints := []struct {
+		name string
+		cold bool
+	}{
+		{"TrustlintColdList", true},
+		{"Trustlint", false},
 	}
-	report["Trustlint"] = benchEntry{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
-	fmt.Fprintf(os.Stderr, "%-16s %12d ns/op %12d allocs/op\n", "Trustlint", res.NsPerOp(), res.AllocsPerOp())
+	for _, l := range lints {
+		var lintErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if l.cold {
+					analysis.ResetListCache()
+				}
+				findings, err := analysis.Lint(".", "./...")
+				if err != nil {
+					lintErr = err
+					b.FailNow()
+				}
+				if len(findings) > 0 {
+					lintErr = fmt.Errorf("tree has %d trustlint finding(s)", len(findings))
+					b.FailNow()
+				}
+			}
+		})
+		if lintErr != nil {
+			return fmt.Errorf("%s: %w", l.name, lintErr)
+		}
+		report[l.name] = benchEntry{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
+		fmt.Fprintf(os.Stderr, "%-16s %12d ns/op %12d allocs/op\n", l.name, res.NsPerOp(), res.AllocsPerOp())
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -1,28 +1,46 @@
 // Command trustlint runs the repository's contract analyzers over Go
 // packages and exits non-zero on any finding. It machine-checks what
 // the compiler cannot: the single-seed determinism contract
-// (docs/sweep-engine.md) and the constant-time comparison discipline of
-// the protocol layer. See docs/static-analysis.md for the rules and the
+// (docs/sweep-engine.md), the constant-time comparison discipline of
+// the protocol layer, the server's lock hierarchy
+// (docs/server-scaling.md), buffer-pool aliasing, and secret-material
+// flow into logs. See docs/static-analysis.md for the rules and the
 // //trustlint:allow suppression directive.
 //
 // Usage:
 //
-//	trustlint [packages]     # default ./...
-//	trustlint -list          # print the rules and exit
+//	trustlint [packages]             # default ./...
+//	trustlint -list                  # print the rules and exit
+//	trustlint -json [packages]       # findings as a JSON array
+//	trustlint -rules a,b [packages]  # run only the named rules
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"trust/internal/analysis"
 )
 
+// jsonFinding is the machine-readable record -json emits, one per
+// finding; the schema is documented in docs/static-analysis.md.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the registered rules and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	rulesFlag := flag.String("rules", "", "comma-separated rule subset to run (default: all; stale-directive detection needs the full set)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: trustlint [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: trustlint [-list] [-json] [-rules a,b] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,6 +52,25 @@ func main() {
 		return
 	}
 
+	var rules []string
+	if *rulesFlag != "" {
+		known := make(map[string]bool)
+		for _, name := range analysis.RuleNames() {
+			known[name] = true
+		}
+		for _, r := range strings.Split(*rulesFlag, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				continue
+			}
+			if !known[r] {
+				fmt.Fprintf(os.Stderr, "trustlint: unknown rule %q (valid: %s)\n", r, strings.Join(analysis.RuleNames(), ", "))
+				os.Exit(2)
+			}
+			rules = append(rules, r)
+		}
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -43,13 +80,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trustlint: %v\n", err)
 		os.Exit(2)
 	}
-	findings, err := analysis.Lint(wd, patterns...)
+	findings, err := analysis.LintRules(wd, rules, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "trustlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(rel(wd, f))
+	if *asJSON {
+		records := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			records = append(records, jsonFinding{
+				File: relPath(wd, f.Pos.Filename),
+				Line: f.Pos.Line,
+				Col:  f.Pos.Column,
+				Rule: f.Rule,
+				Msg:  f.Msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "trustlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(rel(wd, f))
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "trustlint: %d finding(s)\n", len(findings))
@@ -65,4 +121,12 @@ func rel(wd string, f analysis.Finding) string {
 		return s[len(wd)+1:]
 	}
 	return s
+}
+
+// relPath is rel for a bare filename.
+func relPath(wd, name string) string {
+	if len(name) > len(wd)+1 && name[:len(wd)] == wd && name[len(wd)] == '/' {
+		return name[len(wd)+1:]
+	}
+	return name
 }

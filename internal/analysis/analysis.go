@@ -38,6 +38,9 @@ func Analyzers() []*Analyzer {
 		RNGStream,
 		CTCompare,
 		MapOrder,
+		LockOrder,
+		PoolEscape,
+		SecretFlow,
 	}
 }
 
@@ -73,6 +76,10 @@ type Unit struct {
 	Files      []*ast.File
 	Pkg        *types.Package
 	Info       *types.Info
+
+	// graph is the unit's call graph, built lazily by Pass.Graph and
+	// shared by every analyzer that runs on the unit.
+	graph *CallGraph
 }
 
 // A Pass carries one unit through one analyzer.
@@ -109,18 +116,34 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 }
 
 // Run applies every registered analyzer to every unit, resolves
-// //trustlint:allow directives (dropping suppressed findings and adding
-// diagnostics for malformed directives), and returns the surviving
+// //trustlint:allow directives (dropping suppressed findings, adding
+// diagnostics for malformed and stale ones), and returns the surviving
 // findings sorted by position.
 func Run(units []*Unit) []Finding {
+	return RunRules(units, nil)
+}
+
+// RunRules is Run restricted to a subset of rules (nil or empty means
+// all). Stale-directive detection only applies when the full suite
+// runs: a filtered run cannot tell a stale allow from one whose rule
+// was simply not executed.
+func RunRules(units []*Unit, rules []string) []Finding {
+	selected := make(map[string]bool)
+	for _, r := range rules {
+		selected[r] = true
+	}
+	full := len(selected) == 0
 	var findings []Finding
 	for _, u := range units {
 		for _, a := range Analyzers() {
+			if !full && !selected[a.Name] {
+				continue
+			}
 			pass := &Pass{Unit: u, rule: a.Name, findings: &findings}
 			a.Run(pass)
 		}
 	}
-	findings = applyDirectives(units, findings)
+	findings = applyDirectives(units, findings, full)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -46,6 +47,9 @@ func TestFixtureNoWallClock(t *testing.T) { runFixture(t, "nowallclock") }
 func TestFixtureRNGStream(t *testing.T)  { runFixture(t, "rngstream") }
 func TestFixtureCTCompare(t *testing.T)  { runFixture(t, "ctcompare") }
 func TestFixtureMapOrder(t *testing.T)   { runFixture(t, "maporder") }
+func TestFixtureLockOrder(t *testing.T)  { runFixture(t, "lockorder") }
+func TestFixturePoolEscape(t *testing.T) { runFixture(t, "poolescape") }
+func TestFixtureSecretFlow(t *testing.T) { runFixture(t, "secretflow") }
 func TestFixtureSuppress(t *testing.T)   { runFixture(t, "suppress") }
 
 // want is one expectation: a regexp that must match a finding on its
@@ -126,10 +130,11 @@ func collectWants(t *testing.T, unit *Unit) map[string][]*want {
 	return out
 }
 
-// TestRepoSelfLint runs the full suite over the repository itself: the
+// TestSelfLint runs the full suite over the repository itself: the
 // tree must stay trustlint-clean, so any new violation fails the tier-1
-// test run, not just the lint step.
-func TestRepoSelfLint(t *testing.T) {
+// test run, not just the lint step. (The verify line invokes this test
+// by name; keep it grep-matchable as TestSelfLint.)
+func TestSelfLint(t *testing.T) {
 	_, units := loadRepo(t)
 	findings := Run(units)
 	for _, f := range findings {
@@ -140,13 +145,57 @@ func TestRepoSelfLint(t *testing.T) {
 	}
 }
 
-// TestRuleNamesAreRegistered pins the four contract rules by name; the
+// TestRuleNamesAreRegistered pins the seven contract rules by name; the
 // //trustlint:allow directive and the docs reference them.
 func TestRuleNamesAreRegistered(t *testing.T) {
 	got := strings.Join(RuleNames(), ",")
-	wantNames := "nowallclock,rngstream,ctcompare,maporder"
+	wantNames := "nowallclock,rngstream,ctcompare,maporder,lockorder,poolescape,secretflow"
 	if got != wantNames {
 		t.Fatalf("registered rules = %s, want %s", got, wantNames)
+	}
+}
+
+// ruleHeadingRE matches the docs' per-rule headings: ### `rulename`
+var ruleHeadingRE = regexp.MustCompile("(?m)^### `([a-z]+)`$")
+
+// TestRuleIndexMatchesDocs asserts the rule list trustlint -list
+// prints (the registry, in order) matches the documented rule index in
+// docs/static-analysis.md, so neither can drift from the other.
+func TestRuleIndexMatchesDocs(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "static-analysis.md"))
+	if err != nil {
+		t.Fatalf("reading rule docs: %v", err)
+	}
+	var documented []string
+	for _, m := range ruleHeadingRE.FindAllStringSubmatch(string(data), -1) {
+		documented = append(documented, m[1])
+	}
+	if got, wantNames := strings.Join(documented, ","), strings.Join(RuleNames(), ","); got != wantNames {
+		t.Fatalf("docs/static-analysis.md documents rules [%s], registry has [%s]", got, wantNames)
+	}
+}
+
+// TestRunRulesFilters checks the -rules subset path: a filtered run
+// executes only the named rules and never reports stale directives
+// (it cannot tell stale from not-executed).
+func TestRunRulesFilters(t *testing.T) {
+	l, _ := loadRepo(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := l.LoadDir(dir, "trust/internal/analysis/testdata/src/suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings := RunRules([]*Unit{unit}, []string{"rngstream"})
+	for _, f := range findings {
+		if strings.Contains(f.Msg, "stale") {
+			t.Errorf("filtered run reported a stale directive: %s", f)
+		}
+		if f.Rule != "rngstream" && f.Rule != "directive" {
+			t.Errorf("filtered run produced finding for unselected rule: %s", f)
+		}
 	}
 }
 

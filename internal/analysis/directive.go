@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"regexp"
 	"strings"
 )
 
@@ -20,7 +21,13 @@ import (
 //
 // A bare `//trustlint:allow` (no rule name) or one naming an unknown
 // rule is itself a diagnostic: silent, unscoped suppressions are how
-// contracts rot.
+// contracts rot. So is a stale allow — a directive naming a rule that
+// no longer fires where the directive could suppress it — because a
+// suppression that outlives its violation hides the next real one.
+// Stale detection only runs when the full suite does (a -rules
+// filtered run cannot tell stale from not-executed) and skips
+// generated files (conventional `// Code generated ... DO NOT EDIT.`
+// header), whose directives are owned by the generator.
 
 const directivePrefix = "//trustlint:allow"
 
@@ -34,6 +41,10 @@ type directive struct {
 	rules    []string
 	line     int
 	fileWide bool
+	pos      token.Position
+	// used[i] records whether rules[i] suppressed at least one finding,
+	// feeding stale-allow detection.
+	used []bool
 }
 
 // parseDirectives extracts the directives of one file and reports
@@ -88,6 +99,8 @@ func parseDirectives(fset *token.FileSet, file *ast.File, findings *[]Finding) [
 				rules:    rules,
 				line:     pos.Line,
 				fileWide: pos.Line <= pkgLine,
+				pos:      pos,
+				used:     make([]bool, len(rules)),
 			})
 		}
 	}
@@ -96,9 +109,13 @@ func parseDirectives(fset *token.FileSet, file *ast.File, findings *[]Finding) [
 
 // applyDirectives parses every unit's suppression directives, drops
 // findings they cover, and appends diagnostics for malformed ones.
-func applyDirectives(units []*Unit, findings []Finding) []Finding {
+// When fullRun is set (every rule executed), directives that suppressed
+// nothing are reported as stale — except in generated files.
+func applyDirectives(units []*Unit, findings []Finding, fullRun bool) []Finding {
 	type fileKey = string
 	byFile := make(map[fileKey][]directive)
+	generated := make(map[fileKey]bool)
+	var fileOrder []fileKey
 	var out []Finding
 	for _, u := range units {
 		for _, f := range u.Files {
@@ -107,6 +124,8 @@ func applyDirectives(units []*Unit, findings []Finding) []Finding {
 				continue // base and xtest units never share files, but be safe
 			}
 			byFile[name] = parseDirectives(u.Fset, f, &out)
+			generated[name] = isGeneratedFile(u.Fset, f)
+			fileOrder = append(fileOrder, name)
 		}
 	}
 	for _, f := range findings {
@@ -114,18 +133,61 @@ func applyDirectives(units []*Unit, findings []Finding) []Finding {
 			out = append(out, f)
 		}
 	}
+	if fullRun {
+		for _, name := range fileOrder {
+			if generated[name] {
+				continue
+			}
+			for _, d := range byFile[name] {
+				for i, r := range d.rules {
+					if !d.used[i] {
+						out = append(out, Finding{
+							Pos:  d.pos,
+							Rule: directiveRule,
+							Msg:  fmt.Sprintf("stale //trustlint:allow %s: the rule no longer fires here; remove the directive so it cannot hide a future violation", r),
+						})
+					}
+				}
+			}
+		}
+	}
 	return out
 }
 
-// suppressed reports whether a directive in f's file covers it.
+// suppressed reports whether a directive in f's file covers it,
+// marking the matching rule as used.
 func suppressed(f Finding, dirs []directive) bool {
-	for _, d := range dirs {
+	hit := false
+	for di := range dirs {
+		d := &dirs[di]
 		covers := d.fileWide || d.line == f.Pos.Line || d.line == f.Pos.Line-1
 		if !covers {
 			continue
 		}
-		for _, r := range d.rules {
+		for i, r := range d.rules {
 			if r == f.Rule {
+				d.used[i] = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// generatedRE is the conventional generated-file marker
+// (https://go.dev/s/generatedcode): it must appear on a line of its
+// own before the package clause.
+var generatedRE = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// isGeneratedFile reports whether the file carries the conventional
+// generated-code header.
+func isGeneratedFile(fset *token.FileSet, f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if generatedRE.MatchString(c.Text) {
 				return true
 			}
 		}

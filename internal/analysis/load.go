@@ -68,8 +68,13 @@ func NewLoader(dir string) *Loader {
 }
 
 // goList runs `go list -export -deps -test -json args...` and decodes
-// the package stream.
+// the package stream, memoizing the result per module fingerprint
+// (listcache.go) so repeated runs over an unchanged tree skip the
+// re-export entirely.
 func (l *Loader) goList(patterns []string) ([]*listPkg, error) {
+	if pkgs, ok := cachedList(l.Dir, patterns); ok {
+		return pkgs, nil
+	}
 	args := append([]string{"list", "-export", "-deps", "-test", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.Dir
@@ -94,6 +99,7 @@ func (l *Loader) goList(patterns []string) ([]*listPkg, error) {
 		}
 		pkgs = append(pkgs, p)
 	}
+	storeList(l.Dir, patterns, pkgs)
 	return pkgs, nil
 }
 
@@ -233,9 +239,15 @@ func (l *Loader) open(path, xtestOf string) (io.ReadCloser, error) {
 // suite: the one-call entry point used by cmd/trustlint, the self-lint
 // test, and the benchmark harness.
 func Lint(dir string, patterns ...string) ([]Finding, error) {
+	return LintRules(dir, nil, patterns...)
+}
+
+// LintRules is Lint restricted to a subset of rules (nil means all);
+// the cmd/trustlint -rules flag routes here.
+func LintRules(dir string, rules []string, patterns ...string) ([]Finding, error) {
 	units, err := NewLoader(dir).LoadPatterns(patterns...)
 	if err != nil {
 		return nil, err
 	}
-	return Run(units), nil
+	return RunRules(units, rules), nil
 }

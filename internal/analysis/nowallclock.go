@@ -89,6 +89,36 @@ func runNoWallClock(pass *Pass) {
 			}
 		}
 	}
+	// A time.Timer or time.Ticker smuggled through a struct field
+	// (embedded or named) or received as a parameter is the same wall
+	// clock one hop removed: the value had to come from time.NewTimer
+	// somewhere, and storing it institutionalizes the dependency.
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if t := pass.Info().Types[field.Type].Type; t != nil {
+						if name, ok := timerType(t); ok {
+							pass.Reportf(field.Type.Pos(), "struct field of type %s smuggles a wall-clock timer: whoever built it called time.NewTimer/NewTicker; drive scheduling from the virtual sim.Clock", name)
+						}
+					}
+				}
+			case *ast.FuncType:
+				if n.Params == nil {
+					return true
+				}
+				for _, field := range n.Params.List {
+					if t := pass.Info().Types[field.Type].Type; t != nil {
+						if name, ok := timerType(t); ok {
+							pass.Reportf(field.Type.Pos(), "parameter of type %s accepts a wall-clock timer: the caller had to arm one with time.NewTimer/NewTicker; pass virtual-time state (sim.Clock) instead", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
 	for id, obj := range pass.Info().Uses {
 		fn, ok := obj.(*types.Func)
 		if !ok || fn.Pkg() == nil {
@@ -121,6 +151,48 @@ func isDeadlineSignature(fn *types.Func) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+// timerType reports whether t is time.Timer/time.Ticker, a pointer to
+// one, or a named type wrapping one — the shapes a wall-clock timer
+// hides behind when passed around instead of called directly.
+func timerType(t types.Type) (string, bool) {
+	return timerTypeDepth(t, 0)
+}
+
+func timerTypeDepth(t types.Type, depth int) (string, bool) {
+	if depth > 4 { // mutual embedding cannot recurse forever
+		return "", false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		if name, ok := timerTypeDepth(ptr.Elem(), depth); ok {
+			return "*" + name, true
+		}
+		return "", false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "time" && (obj.Name() == "Timer" || obj.Name() == "Ticker") {
+		return "time." + obj.Name(), true
+	}
+	// A struct type that embeds a timer re-brands the same clock:
+	// `type ticking struct { *time.Timer }` used as a field or
+	// parameter type is the smuggling shape this check exists for.
+	if under, ok := named.Underlying().(*types.Struct); ok && obj.Pkg() != nil && obj.Pkg().Path() != "time" {
+		for i := 0; i < under.NumFields(); i++ {
+			f := under.Field(i)
+			if !f.Embedded() {
+				continue
+			}
+			if name, ok := timerTypeDepth(f.Type(), depth+1); ok {
+				return obj.Name() + " (embedding " + name + ")", true
+			}
+		}
+	}
+	return "", false
 }
 
 // pathBase returns the last element of an import path.

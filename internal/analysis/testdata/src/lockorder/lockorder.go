@@ -1,0 +1,148 @@
+// Package lockfix exercises the lockorder rule: the documented lock
+// hierarchy (store shard → session → leaf, docs/server-scaling.md) is
+// mirrored here by shard.mu / session.mu / auditLog.mu entries in the
+// analyzer's ordering table.
+package lockfix
+
+import (
+	"net"
+	"sync"
+)
+
+// shard mirrors a store shard: rank 10, block-sensitive.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*session
+}
+
+// session mirrors one session's own mutex: rank 20, block-sensitive.
+type session struct {
+	mu       sync.Mutex
+	requests int
+}
+
+// auditLog mirrors a leaf mutex: rank 30, nothing acquired under it.
+type auditLog struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+// Inverted acquires a shard lock while holding a session lock — the
+// exact inversion the hierarchy forbids.
+func Inverted(sh *shard, sess *session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sh.mu.Lock() // want "acquiring lockorder\\.shard\\.mu while holding lockorder\\.session\\.mu inverts the documented lock hierarchy"
+	sh.mu.Unlock()
+}
+
+// TwoShards holds two shard locks at once: same rank, still forbidden
+// (no two shard locks — same store or different stores — together).
+func TwoShards(a, b *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.RLock() // want "re-acquiring lockorder\\.shard\\.mu while one is already held"
+	b.mu.RUnlock()
+}
+
+// Recursive re-locks a mutex it already holds.
+func Recursive(sess *session) {
+	sess.mu.Lock()
+	sess.mu.Lock() // want "re-acquiring lockorder\\.session\\.mu while one is already held"
+	sess.mu.Unlock()
+	sess.mu.Unlock()
+}
+
+// lockSession is the helper whose lock acquisition the call-graph
+// summaries must see through.
+func lockSession(sess *session) {
+	sess.mu.Lock()
+	sess.requests++
+	sess.mu.Unlock()
+}
+
+// TransitiveInversion performs the Inverted shape through a callee:
+// the audit leaf is held, and the helper acquires a session lock.
+func TransitiveInversion(log *auditLog, sess *session) {
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	lockSession(sess) // want "call to lockSession acquires lockorder\\.session\\.mu while lockorder\\.auditLog\\.mu is held"
+}
+
+// WriteUnderSession blocks on a socket while holding a session lock: a
+// stalled peer would serialize every request on this session.
+func WriteUnderSession(sess *session, conn net.Conn, payload []byte) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	conn.Write(payload) // want "interface Write \\(potential socket I/O\\) while holding lockorder\\.session\\.mu"
+}
+
+// SendUnderShard performs a channel send while holding a shard lock.
+func SendUnderShard(sh *shard, ch chan string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch <- "evicted" // want "channel send while holding lockorder\\.shard\\.mu"
+}
+
+// flush is a helper that blocks; calling it under a session lock is
+// the transitive form of WriteUnderSession.
+func flush(conn net.Conn, payload []byte) error {
+	_, err := conn.Write(payload)
+	return err
+}
+
+// TransitiveBlock reaches the socket write through the helper.
+func TransitiveBlock(sess *session, conn net.Conn, payload []byte) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	flush(conn, payload) // want "call to flush performs interface Write \\(potential socket I/O\\) while lockorder\\.session\\.mu is held"
+}
+
+// DocumentedOrder takes the locks in the documented order — shard,
+// then session, then leaf — which is exactly what the hierarchy
+// permits. No findings.
+func DocumentedOrder(sh *shard, log *auditLog, id string) {
+	sh.mu.RLock()
+	sess := sh.sessions[id]
+	if sess != nil {
+		sess.mu.Lock()
+		sess.requests++
+		log.mu.Lock()
+		log.entries = append(log.entries, id)
+		log.mu.Unlock()
+		sess.mu.Unlock()
+	}
+	sh.mu.RUnlock()
+}
+
+// ReleaseBeforeBlocking copies state out under the lock and blocks only
+// after releasing it — the pushPolicy idiom. No findings.
+func ReleaseBeforeBlocking(sh *shard, conn net.Conn, payload []byte) {
+	sh.mu.RLock()
+	n := len(sh.sessions)
+	sh.mu.RUnlock()
+	if n > 0 {
+		conn.Write(payload)
+	}
+}
+
+// UnrankedLocal blocks while holding a mutex outside the ordering
+// table: unranked locks are invisible to the rule. No findings.
+func UnrankedLocal(conn net.Conn, payload []byte) {
+	var wmu sync.Mutex
+	wmu.Lock()
+	defer wmu.Unlock()
+	conn.Write(payload)
+}
+
+// GoroutineNotCounted spawns a closure that sends on a channel while
+// the enclosing function holds a shard lock: the send happens on the
+// new goroutine, after the spawner released, so it is not charged to
+// the locked region. No findings.
+func GoroutineNotCounted(sh *shard, ch chan string) {
+	sh.mu.Lock()
+	go func() {
+		ch <- "background"
+	}()
+	sh.mu.Unlock()
+}

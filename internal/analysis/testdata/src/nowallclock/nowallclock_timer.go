@@ -1,0 +1,49 @@
+// Timer smuggling: a time.Timer stored in a struct field or received
+// as a parameter is the wall clock one hop removed from the
+// time.NewTimer call the rule already bans.
+package nwfix
+
+import "time"
+
+// keepalive holds a timer directly and a ticker behind a pointer.
+type keepalive struct {
+	idle  *time.Timer // want "struct field of type \\*time\\.Timer smuggles a wall-clock timer"
+	beat  time.Ticker // want "struct field of type time\\.Ticker smuggles a wall-clock timer"
+	label string
+}
+
+// ticking re-brands the timer through embedding.
+type ticking struct {
+	*time.Timer // want "struct field of type \\*time\\.Timer smuggles a wall-clock timer"
+}
+
+// embedder buries the embedded-timer struct one more level down: the
+// field's type is not time.Timer, but it carries one.
+type embedder struct {
+	t ticking // want "struct field of type ticking \\(embedding \\*time\\.Timer\\) smuggles a wall-clock timer"
+}
+
+// Await receives an armed timer as a parameter.
+func Await(t *time.Timer) { // want "parameter of type \\*time\\.Timer accepts a wall-clock timer"
+	<-t.C
+}
+
+// AwaitWrapped receives the smuggling struct.
+func AwaitWrapped(k ticking) { // want "parameter of type ticking \\(embedding \\*time\\.Timer\\) accepts a wall-clock timer"
+	<-k.C
+}
+
+// DurationsOK: time.Duration and time.Time values are units and
+// instants, not armed timers — passing them stays legal. No findings.
+func DurationsOK(d time.Duration, at time.Time) time.Duration {
+	if at.IsZero() {
+		return 0
+	}
+	return d
+}
+
+// labelOnly holds no timers at all. No findings.
+type labelOnly struct {
+	name  string
+	count int
+}

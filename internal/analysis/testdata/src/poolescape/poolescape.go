@@ -1,0 +1,121 @@
+// Package poolfix exercises the poolescape rule: a buffer borrowed
+// from a sync.Pool — or any slice aliasing its backing array — must
+// not outlive the borrowing function.
+package poolfix
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+var rawPool = sync.Pool{New: func() any { return make([]byte, 0, 512) }}
+
+// holder is a struct a pooled buffer could be smuggled inside.
+type holder struct {
+	data []byte
+}
+
+// sink is package-level storage: anything assigned here escapes.
+var sink []byte
+
+// ReturnedBuffer returns the pooled object itself.
+func ReturnedBuffer() *bytes.Buffer {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf // want "pooled buffer \"buf\" \\(sync\\.Pool\\.Get\\) escapes via return"
+}
+
+// ReturnedAlias returns a slice aliasing the pooled buffer's backing
+// array: the next borrower overwrites it in place.
+func ReturnedAlias(payload []byte) []byte {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	buf.Write(payload)
+	return buf.Bytes() // want "pooled buffer \"buf\" \\(sync\\.Pool\\.Get\\) escapes via return"
+}
+
+// StoredInStruct parks the alias in a struct that outlives the call.
+func StoredInStruct(h *holder, payload []byte) {
+	raw := rawPool.Get().([]byte)
+	defer rawPool.Put(raw)
+	raw = append(raw[:0], payload...)
+	h.data = raw // want "pooled buffer \"raw\" \\(sync\\.Pool\\.Get\\) is stored outside the function"
+}
+
+// StoredInGlobal publishes the alias through a package variable.
+func StoredInGlobal() {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	sink = buf.Bytes() // want "pooled buffer \"buf\" \\(sync\\.Pool\\.Get\\) is stored outside the function"
+}
+
+// SentOnChannel hands the alias to whoever drains the channel.
+func SentOnChannel(ch chan []byte) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	ch <- buf.Bytes() // want "pooled buffer \"buf\" \\(sync\\.Pool\\.Get\\) escapes on a channel send"
+}
+
+// CapturedByGoroutine races the goroutine's reads against the pool's
+// next borrower.
+func CapturedByGoroutine(done chan struct{}) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	go func() {
+		_ = buf.Len() // want "pooled buffer \"buf\" \\(sync\\.Pool\\.Get\\) is captured by a goroutine"
+		close(done)
+	}()
+}
+
+// CopiedOut is the sanctioned publish: append onto a fresh slice, so
+// the returned bytes have their own backing array. No findings.
+func CopiedOut(payload []byte) []byte {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	buf.Write(payload)
+	return append([]byte(nil), buf.Bytes()...)
+}
+
+// AppendToCallerSlice appends onto the caller's destination — the
+// EncodeBinaryAppend idiom. The pooled bytes are copied into dst's
+// array (or a fresh one), never aliased. No findings.
+func AppendToCallerSlice(dst, payload []byte) []byte {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	buf.Write(payload)
+	return append(dst, buf.Bytes()...)
+}
+
+// UsedAndReturned passes the pooled buffer to callees and returns only
+// derived values: an ordinary call argument is not an escape (the
+// callee returns before Put), and string() copies. No findings.
+func UsedAndReturned(payload []byte) (int, string) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	buf.Write(payload)
+	n := consume(buf)
+	return n, string(buf.Bytes())
+}
+
+func consume(buf *bytes.Buffer) int { return buf.Len() }
+
+// SelfStore writes into a field of the pooled object itself — the
+// postBody idiom: the store stays inside the borrow. No findings.
+type scratch struct {
+	buf []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func SelfStore(payload []byte) int {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.buf = append(sc.buf[:0], payload...)
+	return len(sc.buf)
+}

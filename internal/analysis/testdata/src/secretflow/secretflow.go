@@ -1,0 +1,74 @@
+// Package secretfix exercises the secretflow rule: secret-named values
+// (keys, seeds, passwords) must not reach fmt/log/error/panic sinks
+// except through an approved digest.
+package secretfix
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"log"
+)
+
+// PrintedKey formats the session key itself.
+func PrintedKey(sessionKey []byte) string {
+	return fmt.Sprintf("%x", sessionKey) // want "secret \"sessionKey\" flows into fmt\\.Sprintf"
+}
+
+// KeyInError embeds the recovery password in an error string.
+func KeyInError(recoveryPassword string) error {
+	return fmt.Errorf("login failed for password %s", recoveryPassword) // want "secret \"recoveryPassword\" flows into fmt\\.Errorf"
+}
+
+// LoggedSeed writes the nonce-chain seed to the process log.
+func LoggedSeed(chainSeed []byte) {
+	log.Printf("resync: chain seed %x", chainSeed) // want "secret \"chainSeed\" flows into log\\.Printf"
+}
+
+// NewFromSecret builds an error out of the raw secret bytes.
+func NewFromSecret(macSecret []byte) error {
+	return errors.New("bad mac " + string(macSecret)) // want "secret \"macSecret\" flows into errors\\.New"
+}
+
+// PanickedKey throws the private key into a panic message.
+func PanickedKey(privKey []byte) {
+	if len(privKey) == 0 {
+		panic(privKey) // want "secret \"privKey\" flows into panic"
+	}
+}
+
+// logf is the helper wrapper the call-graph summaries see through: its
+// own parameter names are innocent, so only the caller knows a secret
+// went in.
+func logf(format string, v any) {
+	fmt.Printf(format, v)
+}
+
+// WrappedLeak hands the key to the helper; the finding lands at the
+// call site, where the secret is visible.
+func WrappedLeak(sessionKey []byte) {
+	logf("session key: %x", sessionKey) // want "secret \"sessionKey\" flows into a log/error sink through logf"
+}
+
+// DigestOK publishes a sha256 digest of the key — the approved
+// laundering transform. No findings.
+func DigestOK(sessionKey []byte) string {
+	return fmt.Sprintf("%x", sha256.Sum256(sessionKey))
+}
+
+// LengthOK reports only the key's length: len() launders. No findings.
+func LengthOK(sessionKey []byte) error {
+	return fmt.Errorf("bad session key length %d", len(sessionKey))
+}
+
+// PublicOK formats public material: the pub/public words veto the key
+// match. No findings.
+func PublicOK(publicKey []byte, pubKeyID string) string {
+	return fmt.Sprintf("%s: %x", pubKeyID, publicKey)
+}
+
+// PlainErrWrapOK wraps an innocent error with no secret in sight. No
+// findings.
+func PlainErrWrapOK(err error, attempts int) error {
+	return fmt.Errorf("login failed after %d attempts: %w", attempts, err)
+}

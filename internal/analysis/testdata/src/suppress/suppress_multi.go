@@ -1,0 +1,14 @@
+// One directive naming several rules suppresses each of them on the
+// covered line: here a single line violates both ctcompare and
+// nowallclock, and one comma-separated allow absorbs both findings.
+package spfix
+
+import "time"
+
+// MultiRule compares a MAC with == and reads the wall clock on the
+// same line; the two-rule directive above it suppresses both.
+func MultiRule(mac, other string, start time.Time) bool {
+	// Fixture data and a fixture clock, not production state.
+	//trustlint:allow ctcompare,nowallclock
+	return mac == other && time.Since(start) > 0
+}

@@ -1,0 +1,18 @@
+// Stale directives are findings: an allow whose rule no longer fires
+// where the directive could suppress it must be deleted, or it will
+// mask the next real violation on that line.
+package spfix
+
+// Tidy has nothing to suppress: the directive below covers a line that
+// violates no rule, so the allow itself is reported.
+func Tidy(a, b int) int {
+	//trustlint:allow maporder -- want "stale //trustlint:allow maporder"
+	return a + b
+}
+
+// PartiallyStale names two rules but only ctcompare actually fires on
+// the covered comparison; the maporder half of the directive is stale.
+func PartiallyStale(secret, candidate string) bool {
+	//trustlint:allow ctcompare,maporder -- want "stale //trustlint:allow maporder"
+	return secret == candidate
+}
