@@ -155,6 +155,16 @@ func writeServerJSON(path string, seed uint64) error {
 		{Devices: 1, Transport: loadgen.Direct, Mode: loadgen.PageRequest, Seed: seed},
 		{Devices: 8, Transport: loadgen.Direct, Mode: loadgen.PageRequest, Seed: seed},
 		{Devices: 8, Transport: loadgen.Direct, Mode: loadgen.Login, Seed: seed},
+		// Session-resumption rows: the ticket fast path against the full
+		// login directly above it (same transport, same fleet size) is the
+		// resumption PR's headline ratio; churn mixes cold and resumed
+		// logins 1:7; the lossy resume row shows the ticket path riding
+		// out drops by falling back to the cold path under the same retry
+		// budget the other lossy rows use.
+		{Devices: 8, Transport: loadgen.Direct, Mode: loadgen.Resume, Seed: seed},
+		{Devices: 8, Transport: loadgen.Direct, Mode: loadgen.Churn, Seed: seed},
+		{Devices: 8, Transport: loadgen.Direct, Mode: loadgen.Resume, Seed: seed,
+			Faults: device.FaultProfile{DropRate: 0.2}, RetryAttempts: 4},
 		{Devices: 8, Transport: loadgen.HTTPJSON, Mode: loadgen.PageRequest, Seed: seed},
 		{Devices: 8, Transport: loadgen.HTTPBinary, Mode: loadgen.PageRequest, Seed: seed},
 		// Lossy-network rows: each message direction drops at 20%, the

@@ -9,6 +9,8 @@
 //	trustload                              # page requests, direct, 1 and 8 devices
 //	trustload -devices 1,4,16 -transport binary
 //	trustload -mode login -devices 8
+//	trustload -mode resume -devices 8       # ticket fast path (cold login once, then resumes)
+//	trustload -mode churn -devices 8        # 1-in-8 cold logins mixed into resumes
 //	trustload -faults 0.2 -retries 4       # 20% loss each way, 4-attempt budget
 //	trustload -json BENCH_server.json      # machine-readable report
 package main
@@ -29,7 +31,7 @@ func main() {
 	var (
 		devices   = flag.String("devices", "1,8", "comma-separated device counts to sweep")
 		transport = flag.String("transport", "direct", "transport: direct|json|binary|stream")
-		mode      = flag.String("mode", "page", "operation: page|login")
+		mode      = flag.String("mode", "page", "operation: page|login|resume|churn")
 		seed      = flag.Uint64("seed", 1, "deterministic fleet seed")
 		jsonPath  = flag.String("json", "", "also write the report as JSON to the given file")
 		faults    = flag.Float64("faults", 0, "per-direction message drop rate on the measured traffic (0..1)")
@@ -71,8 +73,10 @@ func main() {
 		os.Exit(2)
 	}
 	md, ok := map[string]loadgen.Mode{
-		"page":  loadgen.PageRequest,
-		"login": loadgen.Login,
+		"page":   loadgen.PageRequest,
+		"login":  loadgen.Login,
+		"resume": loadgen.Resume,
+		"churn":  loadgen.Churn,
 	}[*mode]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "trustload: unknown mode %q\n", *mode)

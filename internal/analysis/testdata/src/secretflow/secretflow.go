@@ -50,6 +50,25 @@ func WrappedLeak(sessionKey []byte) {
 	logf("session key: %x", sessionKey) // want "secret \"sessionKey\" flows into a log/error sink through logf"
 }
 
+// TicketKeyInError embeds the resumption-ticket epoch key in an error:
+// the ticket subsystem's key material is as hot as a session key.
+func TicketKeyInError(ticketKey []byte) error {
+	return fmt.Errorf("ticket rejected under key %x", ticketKey) // want "secret \"ticketKey\" flows into fmt\\.Errorf"
+}
+
+// LoggedTicketSecret writes the sealed ticket's master secret to the
+// log via a named master-key identifier.
+func LoggedTicketSecret(ticketMasterKey []byte) {
+	log.Printf("rotating ticket epochs from %x", ticketMasterKey) // want "secret \"ticketMasterKey\" flows into log\\.Printf"
+}
+
+// RecoveryDigestOK formats the stored sha256 recovery digest — digests
+// are the approved public form of a password, and the identifier's
+// digest suffix must not re-trigger the password match. No findings.
+func RecoveryDigestOK(recoveryDigest [32]byte) string {
+	return fmt.Sprintf("recovery digest %x", recoveryDigest)
+}
+
 // DigestOK publishes a sha256 digest of the key — the approved
 // laundering transform. No findings.
 func DigestOK(sessionKey []byte) string {

@@ -30,6 +30,7 @@ type Transport interface {
 	SubmitRegistration(now time.Duration, sub *protocol.RegistrationSubmit, recovery string) (protocol.RegistrationResult, error)
 	FetchLoginPage(now time.Duration) (*protocol.LoginPage, error)
 	SubmitLogin(now time.Duration, sub *protocol.LoginSubmit) (*protocol.ContentPage, error)
+	SubmitResume(now time.Duration, sub *protocol.ResumeSubmit) (*protocol.ContentPage, error)
 	SubmitPageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error)
 	SubmitResync(now time.Duration, req *protocol.ResyncRequest) (*protocol.ContentPage, error)
 }
@@ -89,6 +90,21 @@ type Device struct {
 	// module's local continuous auth after the server became
 	// unreachable (the paper's local-mode fallback).
 	degraded bool
+
+	// Resumption-ticket cache (device goroutine only). The server
+	// attaches an opaque single-use ticket to every login and resume
+	// response; LoginResume presents it to skip the Fig 10 cold path.
+	// ticketKey is the session key the ticket seals — the MAC key a
+	// resume submission must prove, and the input to the resumed-session
+	// rekey. loginPage is the login page cached at the last full login:
+	// resume needs a displayed login frame to attest (the server audits
+	// a resume's frame hash against the login URL) without spending a
+	// round trip fetching one.
+	ticket        []byte
+	ticketKey     []byte
+	ticketDomain  string
+	ticketAccount string
+	loginPage     *frame.Page
 }
 
 // New assembles a device around a module and a transport.
@@ -204,6 +220,85 @@ func (d *Device) Login(now time.Duration, cert *pki.Certificate, account string)
 		return err
 	}
 	d.session = sess
+	d.loginPage = page.Page
+	d.cacheTicket(cp.Ticket, sess)
+	d.bindTransport()
+	d.display(cp.Page)
+	return nil
+}
+
+// cacheTicket retains the resumption ticket a login or resume response
+// carried, together with the session key it seals. An empty ticket
+// (server declined to issue) leaves any previous cache in place — the
+// old ticket may still be live.
+func (d *Device) cacheTicket(ticket []byte, sess *protocol.Session) {
+	if len(ticket) == 0 {
+		return
+	}
+	d.ticket = append(d.ticket[:0], ticket...)
+	d.ticketKey = append(d.ticketKey[:0], sess.Key...)
+	d.ticketDomain = sess.Domain
+	d.ticketAccount = sess.Account
+}
+
+// clearTicket drops the cached ticket (it was spent, rejected, or its
+// fate is unknown after a transport fault — all cases where presenting
+// it again can only fail).
+func (d *Device) clearTicket() {
+	d.ticket = nil
+	d.ticketKey = nil
+}
+
+// HasTicket reports whether a resumption ticket is cached.
+func (d *Device) HasTicket() bool { return len(d.ticket) > 0 }
+
+// errNoTicket routes LoginResume straight to the full login.
+var errNoTicket = errors.New("device: no cached resumption ticket")
+
+// LoginResume is the resume-first login: present the cached ticket for
+// a symmetric-only session re-establishment, falling back to the full
+// Fig 10 login on any failure. The fallback is deliberately broad —
+// expired or replayed tickets (ErrBadTicket), a reset account, a MAC
+// verdict, or a network fault with the ticket's fate unknown all end
+// with the ticket dropped and the cold path run — so the device always
+// converges to a session if a full login can get one. Only a missing
+// fresh touch propagates directly: the cold path requires the same
+// touch and would fail identically.
+func (d *Device) LoginResume(now time.Duration, cert *pki.Certificate, account string) error {
+	err := d.tryResume(now, account)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, protocol.ErrNoFreshTouch) {
+		return err
+	}
+	if !errors.Is(err, errNoTicket) {
+		d.clearTicket()
+	}
+	return d.Login(now, cert, account)
+}
+
+// tryResume runs one ticket presentation end to end: re-display the
+// cached login page (the frame hash a resume attests), build the MAC'd
+// submission, submit, and accept the rekeyed session.
+func (d *Device) tryResume(now time.Duration, account string) error {
+	if len(d.ticket) == 0 || d.loginPage == nil || d.ticketAccount != account {
+		return errNoTicket
+	}
+	d.display(d.loginPage)
+	sub, sess, err := d.Client.BuildResumeSubmit(now, d.ticketDomain, account, d.ticket, d.ticketKey, d.RiskWindow)
+	if err != nil {
+		return err
+	}
+	cp, err := d.transport.SubmitResume(now, sub)
+	if err != nil {
+		return err
+	}
+	if err := d.Client.AcceptResumePage(sess, cp); err != nil {
+		return err
+	}
+	d.session = sess
+	d.cacheTicket(cp.Ticket, sess)
 	d.bindTransport()
 	d.display(cp.Page)
 	return nil

@@ -164,6 +164,19 @@ func (t *FaultyTransport) SubmitLogin(now time.Duration, sub *protocol.LoginSubm
 	})
 }
 
+// SubmitResume implements Transport.
+func (t *FaultyTransport) SubmitResume(now time.Duration, sub *protocol.ResumeSubmit) (*protocol.ContentPage, error) {
+	if t.corrupt() {
+		cp := *sub
+		cp.MAC = append([]byte(nil), sub.MAC...)
+		t.flipByte(cp.MAC)
+		sub = &cp
+	}
+	return faultyRound(t, "resume", now, func(fnow time.Duration) (*protocol.ContentPage, error) {
+		return t.Inner.SubmitResume(fnow, sub)
+	})
+}
+
 // SubmitPageRequest implements Transport.
 func (t *FaultyTransport) SubmitPageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
 	if t.corrupt() {

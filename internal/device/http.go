@@ -226,6 +226,15 @@ func (t *HTTP) SubmitLogin(now time.Duration, sub *protocol.LoginSubmit) (*proto
 	return &cp, nil
 }
 
+// SubmitResume implements Transport.
+func (t *HTTP) SubmitResume(now time.Duration, sub *protocol.ResumeSubmit) (*protocol.ContentPage, error) {
+	var cp protocol.ContentPage
+	if err := t.post("/trust/resume", now, nil, sub, &cp); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
 // SubmitPageRequest implements Transport.
 func (t *HTTP) SubmitPageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
 	var cp protocol.ContentPage

@@ -128,6 +128,30 @@ func (d *Device) LoginResilient(now time.Duration, cert *pki.Certificate, accoun
 	return now, fmt.Errorf("device: login failed after retries: %w", lastErr)
 }
 
+// LoginResumeResilient is LoginResilient for the resume-first login:
+// each attempt runs LoginResume, which itself falls back from the
+// ticket path to the full cold path, so a retryable error here means
+// both paths died on network faults. The ticket is dropped on the
+// first in-attempt failure, so later attempts are pure full logins —
+// deterministic, at worst one wasted ticket.
+func (d *Device) LoginResumeResilient(now time.Duration, cert *pki.Certificate, account string) (time.Duration, error) {
+	var lastErr error
+	attempts := d.Retry.attempts()
+	for a := 1; a <= attempts; a++ {
+		err := d.LoginResume(now, cert, account)
+		if err == nil {
+			d.degraded = false
+			return now, nil
+		}
+		lastErr = err
+		if !Retryable(err) || a == attempts {
+			break
+		}
+		now += d.Retry.backoff(a, d.retryRNG)
+	}
+	return now, fmt.Errorf("device: login failed after retries: %w", lastErr)
+}
+
 // BrowseResilient issues one continuous-auth page request under the
 // retry policy, handling each fault class by type:
 //

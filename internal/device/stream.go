@@ -41,10 +41,11 @@ type Stream struct {
 	// (welcome and policy-push frames) after MAC verification.
 	OnPolicy func(window, minVerified int)
 
-	mu   sync.Mutex
-	sess *protocol.Session
-	conn *streamClientConn
-	down bool // sticky: dial/hello failed, Fallback carries everything
+	mu      sync.Mutex
+	sess    *protocol.Session
+	conn    *streamClientConn
+	down    bool // sticky: dial/hello failed, Fallback carries everything
+	pending *pendingResume
 
 	// Stats counters (under mu).
 	dials     int
@@ -81,7 +82,9 @@ func (t *Stream) Streaming() bool {
 // BindSession points the stream at an established session and eagerly
 // dials so the first Browse already has the chain nonce. A failed dial
 // downgrades to the Fallback transport; the device still works, so the
-// error is not surfaced.
+// error is not surfaced. When a SubmitResume handshake left a pending
+// connection, the session adopts it instead of redialing — the resume
+// round trip already seeded the nonce chain.
 func (t *Stream) BindSession(sess *protocol.Session) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -90,6 +93,12 @@ func (t *Stream) BindSession(sess *protocol.Session) {
 	if t.conn != nil {
 		t.conn.fail(errors.New("device: stream rebound"))
 		t.conn = nil
+	}
+	if p := t.pending; p != nil {
+		t.pending = nil
+		if t.adoptPendingLocked(p, sess) {
+			return
+		}
 	}
 	if t.Dial == nil {
 		t.down = true
@@ -100,6 +109,143 @@ func (t *Stream) BindSession(sess *protocol.Session) {
 		t.down = true
 		t.downgrade++
 	}
+}
+
+// pendingResume is a connection opened by SubmitResume whose welcome
+// could not yet be verified: the resumed session key only exists after
+// the device accepts the resume content page. BindSession finishes the
+// verification and promotes the connection to the live stream.
+type pendingResume struct {
+	rwc io.ReadWriteCloser
+	br  *bufio.Reader
+	w   *protocol.StreamWelcome
+}
+
+// clearPending closes and forgets any leftover pending connection
+// (a resume that was never bound, or was superseded).
+func (t *Stream) clearPending() {
+	t.mu.Lock()
+	p := t.pending
+	t.pending = nil
+	t.mu.Unlock()
+	if p != nil {
+		p.rwc.Close()
+	}
+}
+
+// adoptPendingLocked verifies a pending resume connection's welcome
+// under the now-established session and installs it as the live
+// stream. Returns false (connection closed) if verification fails —
+// the caller then redials the ordinary hello handshake. Caller holds
+// t.mu.
+func (t *Stream) adoptPendingLocked(p *pendingResume, sess *protocol.Session) bool {
+	window, minVerified, err := protocol.AcceptStreamWelcome(sess, p.w)
+	if err != nil {
+		p.rwc.Close()
+		return false
+	}
+	if t.OnPolicy != nil {
+		t.OnPolicy(window, minVerified)
+	}
+	seed := append([]byte(nil), p.w.NonceSeed...)
+	c := &streamClientConn{
+		rwc:      p.rwc,
+		br:       p.br,
+		chain:    protocol.NewNonceChain(sess.Key, seed),
+		sess:     sess,
+		seed:     seed,
+		onPolicy: t.OnPolicy,
+		// The resume frame spent sequence number 1; the chain head was
+		// delivered with the resume content page, so prediction starts
+		// at position 0 exactly as after a hello welcome.
+		nextSeq: 1,
+	}
+	t.conn = c
+	t.dials++
+	go c.readLoop()
+	return true
+}
+
+// SubmitResume implements Transport: dial and open with a resume frame
+// — ticket verification, session creation, and nonce-chain seeding in
+// a single round trip. The welcome cannot be verified here (the
+// resumed key is derived only once the device accepts the content
+// page), so the connection parks as pending until BindSession adopts
+// it. On a downgraded transport (or no Dial) the resume rides the
+// Fallback like the other pre-session flows.
+func (t *Stream) SubmitResume(now time.Duration, sub *protocol.ResumeSubmit) (*protocol.ContentPage, error) {
+	t.clearPending()
+	t.mu.Lock()
+	canStream := t.Dial != nil && !t.down
+	t.mu.Unlock()
+	if !canStream {
+		return t.Fallback.SubmitResume(now, sub)
+	}
+	rwc, err := t.Dial()
+	if err != nil {
+		return nil, fmt.Errorf("%w: stream dial: %v", ErrNetwork, err)
+	}
+	payload, err := protocol.EncodeResumeFrame(1, now, sub)
+	if err != nil {
+		rwc.Close()
+		return nil, err
+	}
+	if err := protocol.WriteFrame(rwc, protocol.FrameResume, payload); err != nil {
+		rwc.Close()
+		return nil, fmt.Errorf("%w: stream resume: %v", ErrNetwork, err)
+	}
+	br := bufio.NewReaderSize(rwc, 32<<10)
+	ft, p, err := protocol.ReadFrame(br)
+	if err != nil {
+		rwc.Close()
+		return nil, fmt.Errorf("%w: stream resume welcome: %v", ErrNetwork, err)
+	}
+	var w *protocol.StreamWelcome
+	switch ft {
+	case protocol.FrameWelcome:
+		msg, err := protocol.DecodeBinary(p)
+		if err != nil {
+			rwc.Close()
+			return nil, err
+		}
+		var ok bool
+		if w, ok = msg.(*protocol.StreamWelcome); !ok {
+			rwc.Close()
+			return nil, fmt.Errorf("device: welcome frame carries %T", msg)
+		}
+	case protocol.FrameAck:
+		_, code, detail, aerr := protocol.DecodeAck(p)
+		rwc.Close()
+		if aerr != nil {
+			return nil, aerr
+		}
+		return nil, ackError(code, detail)
+	default:
+		rwc.Close()
+		return nil, fmt.Errorf("device: stream resume handshake got %s frame", ft)
+	}
+	ft, p, err = protocol.ReadFrame(br)
+	if err != nil {
+		rwc.Close()
+		return nil, fmt.Errorf("%w: stream resume page: %v", ErrNetwork, err)
+	}
+	if ft != protocol.FramePage {
+		rwc.Close()
+		return nil, fmt.Errorf("device: stream resume handshake got %s frame", ft)
+	}
+	seq, index, cp, err := protocol.DecodePageFrame(p)
+	if err != nil {
+		rwc.Close()
+		return nil, err
+	}
+	if seq != 1 || index != 0 {
+		rwc.Close()
+		return nil, fmt.Errorf("device: resume page frame seq %d/%d does not match 1/0", seq, index)
+	}
+	t.mu.Lock()
+	t.pending = &pendingResume{rwc: rwc, br: br, w: w}
+	t.mu.Unlock()
+	return cp, nil
 }
 
 // live returns a connected stream, redialing a dead one. It fails —
@@ -307,6 +453,7 @@ func (t *Stream) Ping(now time.Duration) error {
 // Close tears the live stream down (FrameBye, then close). The
 // transport stays usable: the next submit redials.
 func (t *Stream) Close() error {
+	t.clearPending()
 	t.mu.Lock()
 	conn := t.conn
 	t.conn = nil

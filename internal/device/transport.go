@@ -58,6 +58,11 @@ func (t *InMemory) SubmitLogin(now time.Duration, sub *protocol.LoginSubmit) (*p
 	return t.Server.HandleLogin(now, sub)
 }
 
+// SubmitResume implements Transport.
+func (t *InMemory) SubmitResume(now time.Duration, sub *protocol.ResumeSubmit) (*protocol.ContentPage, error) {
+	return t.Server.HandleResume(now, sub)
+}
+
 // SubmitPageRequest implements Transport.
 func (t *InMemory) SubmitPageRequest(now time.Duration, req *protocol.PageRequest) (*protocol.ContentPage, error) {
 	if t.Interceptor != nil {

@@ -75,6 +75,16 @@ const (
 	// Login repeats the full Fig 10 login: nonce issue/consume, KEM
 	// decapsulation, session establishment.
 	Login
+	// Resume repeats the resume-first login: each op presents the ticket
+	// cached by the previous login (the build phase primes the first)
+	// and re-establishes a session with symmetric crypto only. Under
+	// faults a burnt ticket falls back to the cold path, which re-primes
+	// the cache for the next op.
+	Resume
+	// Churn mixes the two login paths 1:7 — every eighth op per device
+	// is a cold full login, the rest resume — modeling a fleet where
+	// most reconnects land inside the ticket's epoch window.
+	Churn
 )
 
 func (m Mode) String() string {
@@ -83,6 +93,10 @@ func (m Mode) String() string {
 		return "page-request"
 	case Login:
 		return "login"
+	case Resume:
+		return "login-resume"
+	case Churn:
+		return "login-churn"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -152,6 +166,10 @@ type loadDevice struct {
 	// fd is the device's stream-framing fault injector (Stream
 	// transport only); armed after the clean build phase like ft.
 	fd *device.FaultyDialer
+	// ops counts this device's own operations (single driving goroutine,
+	// no locking) so Churn's cold/resume split stays deterministic per
+	// device regardless of how the shared iteration counter lands.
+	ops int
 }
 
 // fleet is a fully constructed scenario ready to measure.
@@ -271,7 +289,9 @@ func build(cfg Config) (*fleet, error) {
 			fl.close()
 			return nil, fmt.Errorf("loadgen: device %d register: %w", i, err)
 		}
-		if cfg.Mode == PageRequest {
+		// Every mode except the pure cold-login one needs an established
+		// session (PageRequest) or a primed ticket cache (Resume, Churn).
+		if cfg.Mode != Login {
 			if err := ld.dev.Login(ld.now, fl.cert, account(i)); err != nil {
 				fl.close()
 				return nil, fmt.Errorf("loadgen: device %d login: %w", i, err)
@@ -312,12 +332,37 @@ func (fl *fleet) op(i, iter int) error {
 	ld := fl.devices[i]
 	resilient := ld.dev.Retry != nil
 	switch fl.cfg.Mode {
-	case Login:
-		if resilient {
-			_, err := ld.dev.LoginResilient(ld.now, fl.cert, account(i))
-			return err
+	case Login, Resume, Churn:
+		cold := fl.cfg.Mode == Login
+		if fl.cfg.Mode == Churn {
+			ld.ops++
+			cold = ld.ops%8 == 1
 		}
-		return ld.dev.Login(ld.now, fl.cert, account(i))
+		if !resilient {
+			if cold {
+				return ld.dev.Login(ld.now, fl.cert, account(i))
+			}
+			return ld.dev.LoginResume(ld.now, fl.cert, account(i))
+		}
+		// A login has no offline fallback the way BrowseResilient's
+		// degraded mode absorbs retry exhaustion, and a full login is two
+		// round trips (four drop draws per attempt) — so on lossy runs a
+		// fixed attempt budget WILL eventually hit a losing streak over
+		// thousands of measured ops. Persist through network-fault
+		// streaks: the extra attempts surface in the sampled latency
+		// instead of aborting the scenario. Typed server rejections still
+		// abort — only the retryable fault class loops.
+		for {
+			var err error
+			if cold {
+				_, err = ld.dev.LoginResilient(ld.now, fl.cert, account(i))
+			} else {
+				_, err = ld.dev.LoginResumeResilient(ld.now, fl.cert, account(i))
+			}
+			if err == nil || !device.Retryable(err) {
+				return err
+			}
+		}
 	default:
 		action := "view-statement"
 		if iter%2 == 1 {
@@ -382,6 +427,15 @@ func Run(cfg Config) (Result, error) {
 						return
 					}
 					lats[w] = append(lats[w], b.Elapsed()-t0)
+					// Yield between sampled ops. Direct-mode ops never block,
+					// so on a runner with fewer cores than devices a worker
+					// otherwise runs until the ~10ms async-preemption quantum
+					// and the op spanning the boundary is charged the whole
+					// multi-worker scheduling round (a 141 ms login p99 on a
+					// 1-core runner; docs/server-scaling.md). A voluntary
+					// yield outside the sampled window keeps each sample at
+					// the op's service time.
+					runtime.Gosched()
 				}
 			}(w)
 		}

@@ -52,6 +52,36 @@ func TestRunLossyPageRequest(t *testing.T) {
 	}
 }
 
+func TestRunDirectResume(t *testing.T) {
+	res, err := Run(Config{Devices: 2, Transport: Direct, Mode: Resume, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 1 || res.OpsPerSec <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.Name != "login-resume_direct_2" {
+		t.Fatalf("scenario name %q", res.Name)
+	}
+}
+
+func TestRunLossyChurn(t *testing.T) {
+	res, err := Run(Config{
+		Devices: 2, Transport: Direct, Mode: Churn, Seed: 1,
+		Faults:        device.FaultProfile{DropRate: 0.2},
+		RetryAttempts: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 1 || res.OpsPerSec <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.Name != "login-churn_direct_2_drop20r4" {
+		t.Fatalf("scenario name %q", res.Name)
+	}
+}
+
 func TestRunRejectsEmptyFleet(t *testing.T) {
 	if _, err := Run(Config{Devices: 0}); err == nil {
 		t.Fatal("zero-device config accepted")

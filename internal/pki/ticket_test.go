@@ -1,0 +1,125 @@
+package pki
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestTicketKeys(t *testing.T, period time.Duration, window int) *TicketKeys {
+	t.Helper()
+	tk, err := NewTicketKeys(NewDeterministicRand(41), period, window)
+	if err != nil {
+		t.Fatalf("NewTicketKeys: %v", err)
+	}
+	return tk
+}
+
+func TestTicketSealOpenRoundTrip(t *testing.T) {
+	tk := newTestTicketKeys(t, 5*time.Minute, 1)
+	rand := NewDeterministicRand(7)
+	aad := []byte("trust-ticket-v1|bank.example")
+	pt := []byte("account|key-material|nonce")
+
+	now := 42 * time.Second
+	ticket, err := tk.Seal(now, pt, aad, rand)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	got, err := tk.Open(now+90*time.Second, ticket, aad)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip: got %q want %q", got, pt)
+	}
+}
+
+func TestTicketEpochWindow(t *testing.T) {
+	tk := newTestTicketKeys(t, 5*time.Minute, 1)
+	rand := NewDeterministicRand(7)
+	aad := []byte("aad")
+	ticket, err := tk.Seal(0, []byte("pt"), aad, rand)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	// Same epoch and the next epoch (window 1) still open.
+	for _, now := range []time.Duration{0, 4 * time.Minute, 6 * time.Minute, 9 * time.Minute} {
+		if _, err := tk.Open(now, ticket, aad); err != nil {
+			t.Fatalf("Open at %v: %v", now, err)
+		}
+	}
+	// Two epochs later the ticket is expired.
+	if _, err := tk.Open(10*time.Minute, ticket, aad); !errors.Is(err, ErrTicketEpoch) {
+		t.Fatalf("Open past window: got %v, want ErrTicketEpoch", err)
+	}
+	// A future-dated epoch prefix is rejected too.
+	future, err := tk.Seal(20*time.Minute, []byte("pt"), aad, rand)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := tk.Open(0, future, aad); !errors.Is(err, ErrTicketEpoch) {
+		t.Fatalf("Open future ticket: got %v, want ErrTicketEpoch", err)
+	}
+}
+
+func TestTicketTamperRejected(t *testing.T) {
+	tk := newTestTicketKeys(t, 5*time.Minute, 1)
+	rand := NewDeterministicRand(7)
+	aad := []byte("aad")
+	ticket, err := tk.Seal(0, []byte("pt"), aad, rand)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	// Flip one ciphertext byte.
+	bad := append([]byte(nil), ticket...)
+	bad[len(bad)-1] ^= 1
+	if _, err := tk.Open(0, bad, aad); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("tampered ciphertext: got %v, want ErrDecrypt", err)
+	}
+	// Rewriting the clear epoch prefix within the window must fail:
+	// the prefix is bound into the AAD.
+	shifted := append([]byte(nil), ticket...)
+	shifted[7] ^= 1 // epoch 0 -> 1, still inside the window at 6min
+	if _, err := tk.Open(6*time.Minute, shifted, aad); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("epoch-shifted ticket: got %v, want ErrDecrypt", err)
+	}
+	// Wrong AAD fails.
+	if _, err := tk.Open(0, ticket, []byte("other")); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("wrong aad: got %v, want ErrDecrypt", err)
+	}
+	// Truncated tickets fail cleanly.
+	if _, err := tk.Open(0, ticket[:4], aad); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("truncated ticket: got %v, want ErrDecrypt", err)
+	}
+}
+
+func TestTicketKeysDeterministic(t *testing.T) {
+	// Same seed, same draws -> byte-identical tickets (the repo's
+	// determinism contract covers ticket issuance on the transcript
+	// paths).
+	mk := func() []byte {
+		tk, err := NewTicketKeys(NewDeterministicRand(41), 5*time.Minute, 1)
+		if err != nil {
+			t.Fatalf("NewTicketKeys: %v", err)
+		}
+		ticket, err := tk.Seal(time.Second, []byte("pt"), []byte("aad"), NewDeterministicRand(9))
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		return ticket
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("ticket issuance is not deterministic under fixed seeds")
+	}
+}
+
+func TestTicketKeysValidation(t *testing.T) {
+	if _, err := NewTicketKeys(NewDeterministicRand(1), 0, 1); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := NewTicketKeys(NewDeterministicRand(1), time.Minute, -1); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}

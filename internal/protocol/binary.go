@@ -34,6 +34,7 @@ const (
 	tagStreamHello
 	tagStreamWelcome
 	tagPolicyPush
+	tagResumeSubmit
 )
 
 // ErrBinaryDecode reports malformed binary input.
@@ -311,6 +312,7 @@ func encodeBinaryInto(w *binWriter, msg any) error {
 		w.str(string(m.Nonce))
 		w.str(m.Account)
 		writePage(w, m.Page)
+		w.bytes(m.Ticket)
 		w.bytes(m.MAC)
 	case *PageRequest:
 		w.u8(tagPageRequest)
@@ -328,6 +330,15 @@ func encodeBinaryInto(w *binWriter, msg any) error {
 		w.str(m.Domain)
 		w.str(m.Account)
 		w.str(m.SessionID)
+		w.bytes(m.MAC)
+	case *ResumeSubmit:
+		w.u8(tagResumeSubmit)
+		w.str(m.Domain)
+		w.str(m.Account)
+		w.bytes(m.Ticket)
+		w.hash(m.FrameHash)
+		w.u32(m.RiskVerified)
+		w.u32(m.RiskWindow)
 		w.bytes(m.MAC)
 	case *StreamHello:
 		w.u8(tagStreamHello)
@@ -411,6 +422,7 @@ func DecodeBinary(data []byte) (any, error) {
 		m.Nonce = Nonce(r.str())
 		m.Account = r.str()
 		m.Page = readPage(r)
+		m.Ticket = r.bytes()
 		m.MAC = r.bytes()
 		out = m
 	case tagPageRequest:
@@ -430,6 +442,16 @@ func DecodeBinary(data []byte) (any, error) {
 		m.Domain = r.str()
 		m.Account = r.str()
 		m.SessionID = r.str()
+		m.MAC = r.bytes()
+		out = m
+	case tagResumeSubmit:
+		m := &ResumeSubmit{}
+		m.Domain = r.str()
+		m.Account = r.str()
+		m.Ticket = r.bytes()
+		m.FrameHash = r.hash()
+		m.RiskVerified = r.u32()
+		m.RiskWindow = r.u32()
 		m.MAC = r.bytes()
 		out = m
 	case tagStreamHello:

@@ -2,6 +2,8 @@ package protocol
 
 import (
 	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"time"
@@ -243,6 +245,89 @@ func (c *Client) BuildPageRequestAt(now time.Duration, sess *Session, action str
 	}
 	req.MAC = sess.builder().MAC(req.MACBytes())
 	return req, nil
+}
+
+// resumeRekeyLabel domain-separates the resumed-session key derivation
+// from every other HMAC use of a session key.
+const resumeRekeyLabel = "trust-resume-rekey-v1"
+
+// ResumeKey derives the resumed session's key from the key a ticket
+// sealed and the fresh session id the server chose for the resumed
+// session. Both sides compute it independently: the server right after
+// opening the ticket, the device from its cached ticket key when the
+// response (welcome or content page) reveals the new session id. The
+// derivation is one-way, so compromising a resumed session's key never
+// reveals the key of the session the ticket came from.
+func ResumeKey(ticketSessionKey []byte, sessionID string) []byte {
+	h := hmac.New(sha256.New, ticketSessionKey)
+	h.Write([]byte(resumeRekeyLabel))
+	h.Write([]byte(sessionID))
+	return h.Sum(nil)
+}
+
+// BuildResumeSubmit builds the ticket fast login (docs/protocol.md,
+// "Session resumption"): present an opaque ticket from a previous
+// login plus a MAC under the session key that ticket sealed. Resume
+// asserts a user action — it IS a login — so like the full path it
+// requires a fresh verified touch, attests the displayed frame, and
+// reports the current risk factor; unlike the full path it needs no
+// server round trip first (no login page, no nonce issue), no
+// signature, and no KEM. The returned Session is pending: its Key
+// still holds the ticket's key and its ID is empty until
+// AcceptResumePage rekeys it from the server's response.
+func (c *Client) BuildResumeSubmit(now time.Duration, domain, account string, ticket, key []byte, riskWindow int) (*ResumeSubmit, *Session, error) {
+	if len(ticket) == 0 || len(key) == 0 {
+		return nil, nil, errors.New("protocol: no resumption ticket")
+	}
+	if !c.m.TouchAuthorized(now) {
+		return nil, nil, ErrNoFreshTouch
+	}
+	fh, ok := c.m.Repeater().LastHash()
+	if !ok {
+		return nil, nil, errors.New("protocol: no displayed frame to attest")
+	}
+	verified, considered := c.m.RiskFactor(riskWindow)
+	submit := &ResumeSubmit{
+		Domain:       domain,
+		Account:      account,
+		Ticket:       ticket,
+		FrameHash:    fh,
+		RiskVerified: verified,
+		RiskWindow:   considered,
+	}
+	submit.MAC = pki.MAC(key, submit.MACBytes())
+	sess := &Session{Domain: domain, Account: account, Key: key}
+	return submit, sess, nil
+}
+
+// AcceptResumePage completes a resume: derive the resumed session key
+// from the pending session's ticket key and the server-chosen session
+// id, verify the content page's MAC under it, and promote the pending
+// session to established. Server authentication is implicit — only the
+// holder of the ticket-sealing master secret could recover the ticket
+// key and MAC a page under the correct derived key.
+func (c *Client) AcceptResumePage(sess *Session, msg *ContentPage) error {
+	if msg == nil || msg.Page == nil {
+		return errors.New("protocol: empty content page")
+	}
+	if sess == nil || sess.ID != "" {
+		return errors.New("protocol: resume needs a pending session")
+	}
+	if msg.Domain != sess.Domain || msg.Account != sess.Account {
+		return fmt.Errorf("protocol: content page for %s/%s on session %s/%s", msg.Domain, msg.Account, sess.Domain, sess.Account)
+	}
+	if msg.SessionID == "" {
+		return errors.New("protocol: resume response lacks a session id")
+	}
+	key := ResumeKey(sess.Key, msg.SessionID)
+	if !pki.CheckMAC(key, msg.MACBytes(), msg.MAC) {
+		return ErrServerAuth
+	}
+	sess.Key = key
+	sess.ID = msg.SessionID
+	sess.LastNonce = msg.Nonce
+	sess.buildMAC, sess.acceptMAC = nil, nil
+	return nil
 }
 
 // BuildResync builds the session-recovery message for a session whose

@@ -28,7 +28,10 @@ type FrameType byte
 // one of them, Heartbeat is echoed for liveness, PolicyPush is the
 // server-initiated risk-policy update, Ack carries request errors and
 // hello rejections, Resync recovers a lost page, Bye is clean
-// teardown.
+// teardown. Resume opens a connection with a ticket fast login instead
+// of a hello: the server answers with a welcome (seeding the nonce
+// chain under the resumed key) followed by the login content page, so
+// one round trip yields both a fresh session and a bound stream.
 const (
 	FrameHello FrameType = iota + 1
 	FrameWelcome
@@ -39,6 +42,7 @@ const (
 	FrameAck
 	FrameResync
 	FrameBye
+	FrameResume
 )
 
 func (t FrameType) String() string {
@@ -61,6 +65,8 @@ func (t FrameType) String() string {
 		return "resync"
 	case FrameBye:
 		return "bye"
+	case FrameResume:
+		return "resume"
 	}
 	return fmt.Sprintf("frame(%d)", byte(t))
 }
@@ -323,6 +329,48 @@ func DecodeAck(payload []byte) (seq uint64, code, detail string, err error) {
 		return 0, "", "", fmt.Errorf("%w: ack frame", ErrFrame)
 	}
 	return seq, code, detail, nil
+}
+
+// EncodeResumeFrame serializes a ticket fast login carried as a
+// stream's opening frame: the client frame sequence, the virtual
+// timestamp (a resume opens a connection, so unlike touch batches
+// there is no preceding hello to carry it), and the ResumeSubmit.
+func EncodeResumeFrame(seq uint64, now time.Duration, sub *ResumeSubmit) ([]byte, error) {
+	body, err := EncodeBinary(sub)
+	if err != nil {
+		return nil, err
+	}
+	w := writerPool.Get().(*binWriter)
+	w.buf.Reset()
+	defer func() {
+		if w.buf.Cap() <= maxPooledEncodeBuf {
+			writerPool.Put(w)
+		}
+	}()
+	w.u64(seq)
+	w.u64(uint64(now))
+	w.bytes(body)
+	return append([]byte(nil), w.buf.Bytes()...), nil
+}
+
+// DecodeResumeFrame parses a stream resume payload.
+func DecodeResumeFrame(payload []byte) (seq uint64, now time.Duration, sub *ResumeSubmit, err error) {
+	r := &binReader{b: payload}
+	seq = r.u64()
+	now = time.Duration(r.u64())
+	raw := r.bytes()
+	if r.err != nil || r.off != len(payload) {
+		return 0, 0, nil, fmt.Errorf("%w: resume frame", ErrFrame)
+	}
+	msg, err := DecodeBinary(raw)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	rs, ok := msg.(*ResumeSubmit)
+	if !ok {
+		return 0, 0, nil, fmt.Errorf("%w: resume frame carries %T", ErrFrame, msg)
+	}
+	return seq, now, rs, nil
 }
 
 // EncodeResyncFrame serializes a resync carried on the stream: the

@@ -84,7 +84,34 @@ type ContentPage struct {
 	Nonce     Nonce
 	Account   string
 	Page      *frame.Page
-	MAC       []byte
+	// Ticket, present only on login and resume responses, is the
+	// opaque single-use session-resumption ticket (docs/protocol.md,
+	// "Session resumption"): the session key and account binding
+	// AEAD-sealed under the server's epoch-rotated ticket key. The
+	// device caches it and presents it in a later ResumeSubmit to
+	// re-establish a session without signatures or KEM. Covered by the
+	// MAC like every other field.
+	Ticket []byte `json:",omitempty"`
+	MAC    []byte
+}
+
+// ResumeSubmit is the session-resumption fast login: instead of the
+// Fig 10 cold path (login page fetch, ed25519 signature, KEM
+// decapsulation) the device presents the opaque ticket a previous
+// login issued. The MAC under the ticket's sealed session key proves
+// the presenter owns the key the ticket binds; the frame hash and risk
+// factor keep resume under the same continuous-auth policy as a full
+// login. No signature and no nonce echo: the ticket itself is the
+// single-use freshness token (the server burns its embedded nonce in
+// the nonce table on first use).
+type ResumeSubmit struct {
+	Domain       string
+	Account      string
+	Ticket       []byte
+	FrameHash    frame.Hash
+	RiskVerified int
+	RiskWindow   int
+	MAC          []byte // HMAC-SHA256 under the ticket's sealed session key
 }
 
 // ResyncRequest is the session-recovery message: a device that lost a
@@ -204,6 +231,15 @@ func (m *PageRequest) MACBytes() []byte {
 
 // MACBytes of a ResyncRequest covers everything but MAC.
 func (m *ResyncRequest) MACBytes() []byte {
+	cp := *m
+	cp.MAC = nil
+	return canonicalBinary(&cp)
+}
+
+// MACBytes of a ResumeSubmit covers everything but MAC. Resume is a
+// login-rate message but rides the hot binary canonical form anyway —
+// symmetric-only verification is the whole point of the ticket path.
+func (m *ResumeSubmit) MACBytes() []byte {
 	cp := *m
 	cp.MAC = nil
 	return canonicalBinary(&cp)

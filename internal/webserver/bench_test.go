@@ -28,6 +28,63 @@ func BenchmarkLoginRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkLoginResume measures the ticket fast path against
+// BenchmarkLoginRoundTrip directly above: the client's MAC-only
+// submission, the server's symmetric-only verification (AEAD ticket
+// open, MAC check, nonce burn), and the rekeyed acceptance — no
+// signature verify, no KEM decapsulation. Each iteration chains onto
+// the ticket the previous response issued.
+func BenchmarkLoginResume(b *testing.B) {
+	r := newBenchRig(b)
+	r.register(b, "bench-acct")
+	sess, cp := r.login(b, "bench-acct")
+	ticket, key := cp.Ticket, sess.Key
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, rsess, err := r.client.BuildResumeSubmit(r.now, "www.xyz.com", "bench-acct", ticket, key, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rcp, err := r.server.HandleResume(r.now, sub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.client.AcceptResumePage(rsess, rcp); err != nil {
+			b.Fatal(err)
+		}
+		ticket, key = rcp.Ticket, rsess.Key
+	}
+}
+
+// TestLoginResumeAllocBudget pins the resume round trip's allocation
+// count: the fast path must stay allocation-light or the "cold path as
+// cheap as the hot path" story regresses silently. The budget has
+// headroom over the measured figure but is far below the full login's.
+func TestLoginResumeAllocBudget(t *testing.T) {
+	r := newBenchRig(t)
+	r.register(t, "bench-acct")
+	sess, cp := r.login(t, "bench-acct")
+	ticket, key := cp.Ticket, sess.Key
+	allocs := testing.AllocsPerRun(50, func() {
+		sub, rsess, err := r.client.BuildResumeSubmit(r.now, "www.xyz.com", "bench-acct", ticket, key, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcp, err := r.server.HandleResume(r.now, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.client.AcceptResumePage(rsess, rcp); err != nil {
+			t.Fatal(err)
+		}
+		ticket, key = rcp.Ticket, rsess.Key
+	})
+	if allocs > 120 {
+		t.Fatalf("resume round trip costs %.0f allocs, budget 120", allocs)
+	}
+}
+
 // BenchmarkPageRequestRoundTrip measures one continuous-auth request.
 func BenchmarkPageRequestRoundTrip(b *testing.B) {
 	r := newBenchRig(b)
@@ -50,8 +107,9 @@ func BenchmarkPageRequestRoundTrip(b *testing.B) {
 	_ = cp
 }
 
-// newBenchRig adapts the shared test rig for benchmarks.
-func newBenchRig(b *testing.B) *rig {
+// newBenchRig adapts the shared test rig for benchmarks (and for the
+// allocation-budget guard test, which shares the benchmark's setup).
+func newBenchRig(b testing.TB) *rig {
 	b.Helper()
 	r := newRig(b)
 	// Pre-verify a touch so client operations are authorized.

@@ -2,6 +2,7 @@ package webserver
 
 import (
 	"crypto/ed25519"
+	"crypto/sha256"
 	"crypto/subtle"
 	"fmt"
 	"time"
@@ -52,11 +53,15 @@ func (s *Server) HandleRegistration(now time.Duration, sub *protocol.Registratio
 		return fail("malformed user key")
 	}
 	acct := &Account{
-		ID:               sub.Account,
-		PublicKey:        append(ed25519.PublicKey(nil), sub.UserPub...),
-		DeviceSubject:    sub.DeviceCert.Subject,
-		RecoveryPassword: recoveryPassword,
-		RegisteredAt:     now,
+		ID:            sub.Account,
+		PublicKey:     append(ed25519.PublicKey(nil), sub.UserPub...),
+		DeviceSubject: sub.DeviceCert.Subject,
+		RegisteredAt:  now,
+	}
+	// Only the digest of the recovery credential is retained; the
+	// all-zero digest stays reserved for "none enrolled".
+	if recoveryPassword != "" {
+		acct.RecoveryDigest = sha256.Sum256([]byte(recoveryPassword))
 	}
 	if !s.accounts.claim(acct) {
 		return fail(ErrTaken.Error())
@@ -131,13 +136,105 @@ func (s *Server) HandleLogin(now time.Duration, sub *protocol.LoginSubmit) (*pro
 	}
 	// Build the response (rotating the session nonce) before the
 	// session becomes findable, so no request can observe it half
-	// initialized.
-	cp := s.contentPage(sess, s.PageForAction("login"))
+	// initialized. The attached ticket lets the device's next login
+	// take the symmetric-only resume path (HandleResume).
+	cp := s.contentPageTicket(sess, s.PageForAction("login"), s.mintNonce(), s.issueTicket(now, acct, key))
 	s.sessions.put(sess)
 	s.accounts.clearFailures(sub.Account)
 	s.audit.Append(frame.AuditEntry{Account: sub.Account, PageURL: s.loginURL, Hash: sub.FrameHash, At: now})
 	s.accepted.Add(1)
 	return cp, nil
+}
+
+// HandleResume is the session-resumption fast login: the device
+// presents the opaque ticket a previous HandleLogin (or HandleResume)
+// issued and proves possession of the session key the ticket seals via
+// the submission MAC. The whole path is symmetric crypto — one AEAD
+// open and two HMACs — so a resumed login costs roughly what a
+// continuous-auth page request costs, not what the Fig 10 cold path
+// (signature verify plus KEM decapsulation) costs. A fresh session
+// under a rekeyed session key is established and a replacement ticket
+// rides back on the response.
+func (s *Server) HandleResume(now time.Duration, sub *protocol.ResumeSubmit) (*protocol.ContentPage, error) {
+	st, acct, err := s.verifyResume(now, sub)
+	if err != nil {
+		return nil, err
+	}
+	sess := &session{id: s.newSessionID(), account: acct.ID}
+	// Rekey: both sides derive the resumed session's key from the
+	// ticket-sealed key and the fresh session id, so a ticket observed
+	// in transit never equals a live session key, and two resumes from
+	// the same ticket epoch never share one.
+	sess.key = protocol.ResumeKey(st.key, sess.id)
+	cp := s.contentPageTicket(sess, s.PageForAction("login"), s.mintNonce(), s.issueTicket(now, acct, sess.key))
+	s.sessions.put(sess)
+	s.accounts.clearFailures(acct.ID)
+	// The resume's frame hash attests the login page the user touched,
+	// exactly as a full login's does.
+	s.audit.Append(frame.AuditEntry{Account: acct.ID, PageURL: s.loginURL, Hash: sub.FrameHash, At: now})
+	s.accepted.Add(1)
+	return cp, nil
+}
+
+// verifyResume runs every resume-rejection check and burns the
+// ticket's single-use nonce; on success it returns the sealed ticket
+// state and the live account binding. Shared by the HTTP handler and
+// the stream endpoint's resume-first frame. Check order matters:
+//
+//   - the MAC is verified before the nonce is consumed, so presenting
+//     a stolen ticket without its key cannot burn the owner's ticket;
+//   - the nonce is consumed last, immediately before the caller
+//     creates a session, so of two concurrent presentations of one
+//     ticket exactly the consume winner proceeds (the nonce store
+//     serializes consume under its shard mutex).
+func (s *Server) verifyResume(now time.Duration, sub *protocol.ResumeSubmit) (*ticketState, *Account, error) {
+	if sub == nil || sub.Domain != s.domain || len(sub.Ticket) == 0 {
+		s.rejected.Add(1)
+		return nil, nil, fmt.Errorf("%w: resume", ErrMalformed)
+	}
+	if s.accounts.failures(sub.Account) >= s.MaxLoginFailures {
+		s.rejected.Add(1)
+		return nil, nil, ErrRateLimited
+	}
+	st, err := s.openTicket(now, sub.Ticket)
+	if err != nil {
+		// Expired epochs land here: the device's normal fallback to a
+		// full login, not an attack — no failure charged.
+		s.rejected.Add(1)
+		return nil, nil, err
+	}
+	if st.account != sub.Account {
+		s.rejected.Add(1)
+		return nil, nil, ErrBadTicket
+	}
+	acct, ok := s.accounts.get(sub.Account)
+	if !ok {
+		s.accounts.addFailure(sub.Account)
+		s.rejected.Add(1)
+		return nil, nil, ErrUnknownAccount
+	}
+	if acct.Gen != st.gen {
+		// Ticket from before a ResetIdentity + re-register: the old
+		// binding's tickets die with it.
+		s.rejected.Add(1)
+		return nil, nil, ErrBadTicket
+	}
+	if !pki.CheckMAC(st.key, sub.MACBytes(), sub.MAC) {
+		s.accounts.addFailure(sub.Account)
+		s.rejected.Add(1)
+		return nil, nil, ErrBadMAC
+	}
+	if !s.riskPolicy().ok(sub.RiskVerified, sub.RiskWindow) {
+		s.rejected.Add(1)
+		return nil, nil, fmt.Errorf("%w: %d of %d verified", ErrRiskPolicy, sub.RiskVerified, sub.RiskWindow)
+	}
+	if !s.nonces.consume(st.nonce, now) {
+		// Replayed (or evicted past the nonce TTL — same answer):
+		// single use is spent.
+		s.rejected.Add(1)
+		return nil, nil, ErrBadTicket
+	}
+	return st, acct, nil
 }
 
 // HandlePageRequest is Fig 10 step 4: verify session MAC, nonce echo,
@@ -240,6 +337,13 @@ func (s *Server) contentPage(sess *session, page *frame.Page) *protocol.ContentP
 // session nonce (the stream endpoint's chain-derived nonces take this
 // path).
 func (s *Server) contentPageNonce(sess *session, page *frame.Page, nonce protocol.Nonce) *protocol.ContentPage {
+	return s.contentPageTicket(sess, page, nonce, nil)
+}
+
+// contentPageTicket is the full content-page builder: the login and
+// resume responses attach a fresh resumption ticket, which must be in
+// place before the MAC is computed (the MAC covers it).
+func (s *Server) contentPageTicket(sess *session, page *frame.Page, nonce protocol.Nonce, ticket []byte) *protocol.ContentPage {
 	sess.lastNonce = nonce
 	sess.lastPage = page.URL
 	msg := &protocol.ContentPage{
@@ -248,6 +352,7 @@ func (s *Server) contentPageNonce(sess *session, page *frame.Page, nonce protoco
 		Nonce:     nonce,
 		Account:   sess.account,
 		Page:      page,
+		Ticket:    ticket,
 	}
 	msg.MAC = sess.macState().MAC(msg.MACBytes())
 	return msg
@@ -293,13 +398,22 @@ func (s *Server) HumanOriginated(req *protocol.PageRequest) bool {
 // ResetIdentity implements the paper's identity-reset flow: a user who
 // lost her device proves ownership with the recovery password; the
 // server removes the public-key binding (and kills live sessions) so a
-// new device can re-register the account.
+// new device can re-register the account. Outstanding resumption
+// tickets die with the binding: until re-registration the account is
+// unknown, and afterwards the fresh binding carries a new generation
+// that old tickets fail to match.
 func (s *Server) ResetIdentity(account, recoveryPassword string) error {
 	acct, ok := s.accounts.get(account)
 	if !ok {
 		return ErrUnknownAccount
 	}
-	if acct.RecoveryPassword == "" || subtle.ConstantTimeCompare([]byte(acct.RecoveryPassword), []byte(recoveryPassword)) != 1 {
+	// Digest-compare in constant time; the stored digest is sha256 of
+	// the enrolled credential, zero when none was enrolled (the zero
+	// check is constant-time too, so no branch leaks digest bytes).
+	var zero [32]byte
+	digest := sha256.Sum256([]byte(recoveryPassword))
+	enrolled := subtle.ConstantTimeCompare(acct.RecoveryDigest[:], zero[:]) != 1
+	if !enrolled || subtle.ConstantTimeCompare(acct.RecoveryDigest[:], digest[:]) != 1 {
 		return ErrBadRecovery
 	}
 	s.accounts.remove(account)

@@ -49,6 +49,7 @@ var wireErrors = []struct {
 	{ErrRiskPolicy, "risk-policy", http.StatusPreconditionFailed},
 	{ErrBadKey, "bad-key", http.StatusUnprocessableEntity},
 	{ErrRateLimited, "rate-limited", http.StatusTooManyRequests},
+	{ErrBadTicket, "bad-ticket", http.StatusNotAcceptable},
 }
 
 // writeError puts a handler rejection on the wire: the matching
@@ -183,6 +184,18 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		cp, err := s.HandleLogin(requestNow(r), sub)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeResponse(w, r, cp)
+	})
+	mux.HandleFunc("POST /trust/resume", func(w http.ResponseWriter, r *http.Request) {
+		sub, ok := decodeBody[protocol.ResumeSubmit](w, r)
+		if !ok {
+			return
+		}
+		cp, err := s.HandleResume(requestNow(r), sub)
 		if err != nil {
 			writeError(w, err)
 			return

@@ -63,10 +63,19 @@ type Account struct {
 	ID            string
 	PublicKey     ed25519.PublicKey
 	DeviceSubject string
-	// RecoveryPassword supports the paper's identity-reset fallback
-	// ("the user can rely on her old passwords").
-	RecoveryPassword string
-	RegisteredAt     time.Duration
+	// RecoveryDigest is the sha256 digest of the recovery password
+	// supporting the paper's identity-reset fallback ("the user can
+	// rely on her old passwords"). Only the digest is retained — the
+	// all-zero value means no recovery credential was enrolled and
+	// disables ResetIdentity for the account.
+	RecoveryDigest [32]byte
+	// Gen is the binding generation, assigned by the account store at
+	// claim time and strictly increasing across the server's lifetime.
+	// Resumption tickets seal the generation they were issued under, so
+	// a ResetIdentity + re-register bumps Gen and strands every ticket
+	// minted against the old binding.
+	Gen          uint64
+	RegisteredAt time.Duration
 }
 
 // session is the server-side session state. id, account, and key are
@@ -121,6 +130,10 @@ type Server struct {
 	sessions *sessionStore
 	nonces   *nonceStore
 
+	// tickets seals session-resumption tickets (ticket.go) under
+	// epoch-rotated keys; immutable after New, internally lock-free.
+	tickets *pki.TicketKeys
+
 	pagesMu  sync.RWMutex
 	pages    map[string]*frame.Page // served pages by URL
 	homeURL  string
@@ -162,6 +175,10 @@ func New(domain string, ca *pki.CA, seed uint64) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("webserver: certificate: %w", err)
 	}
+	tickets, err := pki.NewTicketKeys(entropy, pki.DefaultTicketPeriod, pki.DefaultTicketWindow)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: ticket epochs: %w", err)
+	}
 	s := &Server{
 		domain:           domain,
 		keys:             keys,
@@ -172,6 +189,7 @@ func New(domain string, ca *pki.CA, seed uint64) (*Server, error) {
 		accounts:         newAccountStore(),
 		sessions:         newSessionStore(),
 		nonces:           newNonceStore(DefaultNonceTTL, DefaultNonceCapacity),
+		tickets:          tickets,
 		pages:            make(map[string]*frame.Page),
 		screenPX:         800,
 		MaxLoginFailures: 10,
@@ -295,4 +313,5 @@ var (
 	ErrTaken          = errors.New("webserver: account already bound")
 	ErrRateLimited    = errors.New("webserver: account locked after repeated login failures")
 	ErrBadRecovery    = errors.New("webserver: recovery password mismatch")
+	ErrBadTicket      = errors.New("webserver: invalid, expired, or replayed resume ticket")
 )

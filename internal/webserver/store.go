@@ -2,6 +2,7 @@ package webserver
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trust/internal/protocol"
@@ -102,6 +103,10 @@ func (st *sessionStore) forEach(visit func(*session)) {
 // its account's shard so a claim/remove and its counter update never
 // race across locks.
 type accountStore struct {
+	// gen numbers successful claims; each bound Account carries its
+	// claim's value so re-binding an id after ResetIdentity yields a
+	// distinguishable generation (resumption tickets check it).
+	gen    atomic.Uint64
 	shards [numShards]accountShard
 }
 
@@ -137,6 +142,7 @@ func (st *accountStore) claim(a *Account) bool {
 	if old, ok := sh.accounts[a.ID]; ok && len(old.PublicKey) != 0 {
 		return false
 	}
+	a.Gen = st.gen.Add(1)
 	sh.accounts[a.ID] = a
 	return true
 }

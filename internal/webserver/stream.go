@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"trust/internal/frame"
 	"trust/internal/pki"
 	"trust/internal/protocol"
 )
@@ -96,43 +97,81 @@ func (s *Server) ServeStream(rwc io.ReadWriteCloser) error {
 	// would be its own syscall.
 	br := bufio.NewReaderSize(rwc, 32<<10)
 
-	// The first frame must be the hello; anything else is a protocol
-	// violation answered with a malformed ack.
+	// The first frame must bind the connection to a session: a hello
+	// proving an established session's key, or a resume presenting a
+	// ticket (which creates the session right here, saving the resumed
+	// login an HTTP round trip). Anything else is a protocol violation
+	// answered with a malformed ack.
 	ft, payload, err := protocol.ReadFrame(br)
 	if err != nil {
 		return err
 	}
-	if ft != protocol.FrameHello {
-		_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(0, "malformed", "expected hello, got "+ft.String()))
+	var sc *streamConn
+	var opening []byte // pre-framed welcome (plus resume content page)
+	switch ft {
+	case protocol.FrameHello:
+		msg, err := protocol.DecodeBinary(payload)
+		if err != nil {
+			_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(0, "malformed", err.Error()))
+			return err
+		}
+		hello, ok := msg.(*protocol.StreamHello)
+		if !ok {
+			_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(0, "malformed", fmt.Sprintf("hello frame carries %T", msg)))
+			return fmt.Errorf("%w: hello frame carries %T", ErrMalformed, msg)
+		}
+		conn, welcome, herr := s.acceptStreamHello(rwc, hello)
+		if herr != nil {
+			s.rejected.Add(1)
+			_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(0, wireCode(herr), herr.Error()))
+			return herr
+		}
+		wp, err := protocol.EncodeBinary(welcome)
+		if err != nil {
+			return err
+		}
+		if opening, err = protocol.AppendFrame(opening, protocol.FrameWelcome, wp); err != nil {
+			return err
+		}
+		sc = conn
+	case protocol.FrameResume:
+		seq, rnow, sub, err := protocol.DecodeResumeFrame(payload)
+		if err != nil {
+			_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(0, "malformed", err.Error()))
+			return err
+		}
+		conn, welcome, cp, herr := s.acceptStreamResume(rwc, rnow, sub)
+		if herr != nil {
+			// verifyResume already counted the rejection.
+			_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(seq, wireCode(herr), herr.Error()))
+			return herr
+		}
+		wp, err := protocol.EncodeBinary(welcome)
+		if err != nil {
+			return err
+		}
+		if opening, err = protocol.AppendFrame(opening, protocol.FrameWelcome, wp); err != nil {
+			return err
+		}
+		// The resumed session's first content page (nonce chain head,
+		// fresh ticket) rides directly behind the welcome, echoing the
+		// resume frame's sequence number.
+		if opening, err = protocol.AppendPageFrame(opening, seq, 0, cp); err != nil {
+			return err
+		}
+		conn.lastNow = rnow
+		sc = conn
+	default:
+		_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(0, "malformed", "expected hello or resume, got "+ft.String()))
 		return fmt.Errorf("%w: stream opened with %s frame", ErrMalformed, ft)
 	}
-	msg, err := protocol.DecodeBinary(payload)
-	if err != nil {
-		_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(0, "malformed", err.Error()))
-		return err
-	}
-	hello, ok := msg.(*protocol.StreamHello)
-	if !ok {
-		_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(0, "malformed", fmt.Sprintf("hello frame carries %T", msg)))
-		return fmt.Errorf("%w: hello frame carries %T", ErrMalformed, msg)
-	}
-	sc, welcome, herr := s.acceptStreamHello(rwc, hello)
-	if herr != nil {
-		s.rejected.Add(1)
-		_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(0, wireCode(herr), herr.Error()))
-		return herr
-	}
-	wp, err := protocol.EncodeBinary(welcome)
-	if err != nil {
-		return err
-	}
-	// Register before the welcome goes out, holding the write mutex
-	// across both so no policy push can overtake the welcome on the
-	// wire — and so a connection whose client has seen the welcome is
-	// guaranteed to be in the push registry.
+	// Register before the opening frames go out, holding the write
+	// mutex across both so no policy push can overtake the welcome on
+	// the wire — and so a connection whose client has seen the welcome
+	// is guaranteed to be in the push registry.
 	sc.wmu.Lock()
 	s.registerStream(sc)
-	werr := protocol.WriteFrame(sc.rwc, protocol.FrameWelcome, wp)
+	_, werr := sc.rwc.Write(opening)
 	sc.wmu.Unlock()
 	defer s.unregisterStream(sc)
 	if werr != nil {
@@ -270,6 +309,43 @@ func (s *Server) acceptStreamHello(rwc io.ReadWriteCloser, h *protocol.StreamHel
 	}
 	welcome.MAC = pki.MAC(sess.key, welcome.MACBytes())
 	return &streamConn{s: s, rwc: rwc, sess: sess, seed: seed, chain: chain}, welcome, nil
+}
+
+// acceptStreamResume is the stream-first resume handshake: verify the
+// presented ticket exactly as the HTTP handler does (shared
+// verifyResume core), then create the resumed session already bound to
+// a per-connection nonce chain — the session's first nonce is the
+// chain head, so the device starts streaming page requests without any
+// interim HTTP hop. Returns the connection, the MAC'd welcome, and the
+// first content page (carrying the replacement ticket); the caller
+// writes welcome-then-page before registering the stream.
+func (s *Server) acceptStreamResume(rwc io.ReadWriteCloser, now time.Duration, sub *protocol.ResumeSubmit) (*streamConn, *protocol.StreamWelcome, *protocol.ContentPage, error) {
+	st, acct, err := s.verifyResume(now, sub)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sess := &session{id: s.newSessionID(), account: acct.ID}
+	sess.key = protocol.ResumeKey(st.key, sess.id)
+	seed := make([]byte, 16)
+	s.entropyMu.Lock()
+	s.entropy.Read(seed)
+	s.entropyMu.Unlock()
+	chain := protocol.NewNonceChain(sess.key, seed)
+	cp := s.contentPageTicket(sess, s.PageForAction("login"), chain.At(0), s.issueTicket(now, acct, sess.key))
+	s.sessions.put(sess)
+	s.accounts.clearFailures(acct.ID)
+	s.audit.Append(frame.AuditEntry{Account: acct.ID, PageURL: s.loginURL, Hash: sub.FrameHash, At: now})
+	s.accepted.Add(1)
+	p := s.riskPolicy()
+	welcome := &protocol.StreamWelcome{
+		Domain:      s.domain,
+		SessionID:   sess.id,
+		NonceSeed:   seed,
+		Window:      p.Window,
+		MinVerified: p.MinVerified,
+	}
+	welcome.MAC = pki.MAC(sess.key, welcome.MACBytes())
+	return &streamConn{s: s, rwc: rwc, sess: sess, seed: seed, chain: chain}, welcome, cp, nil
 }
 
 // registerStream adds a connection to the policy-push registry.

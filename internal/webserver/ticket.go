@@ -1,0 +1,151 @@
+package webserver
+
+import (
+	"encoding/binary"
+	"io"
+	"time"
+
+	"trust/internal/pki"
+	"trust/internal/protocol"
+)
+
+// Session-resumption tickets, server side. Every successful login (and
+// every successful resume) returns an opaque ticket: the session key
+// plus account binding AEAD-sealed under the server's epoch-rotated
+// ticket key (pki.TicketKeys). A later ResumeSubmit presenting the
+// ticket re-establishes a session with symmetric crypto only — no login
+// page round trip, no ed25519 verify, no KEM decapsulation. Three
+// independent bounds limit a ticket's usefulness:
+//
+//   - epoch rotation: pki's Open accepts only the current and the
+//     configured window of past epochs, capping lifetime at
+//     (window+1) x period of virtual time;
+//   - single use: the ticket seals a nonce registered in the shared
+//     nonce store at issue time and consumed (under the shard mutex —
+//     the exactly-once primitive) on resume;
+//   - binding generation: the ticket seals the account's Gen, so
+//     ResetIdentity followed by re-registration strands every ticket
+//     minted against the old binding.
+//
+// The sealed plaintext never leaves the server in clear; the device
+// treats the ticket as an opaque byte string.
+
+// ticketAADLabel domain-separates ticket sealing from every other AEAD
+// use in the system; the server's domain is appended so tickets cannot
+// migrate between services even if ticket masters collided.
+const ticketAADLabel = "trust-ticket-v1"
+
+// ticketState is the sealed plaintext of one resumption ticket.
+type ticketState struct {
+	account string
+	gen     uint64         // account binding generation at issue
+	nonce   protocol.Nonce // single-use token, registered in the nonce store
+	key     []byte         // the session key the ticket resumes from
+}
+
+// encodeTicketState lays the state out as
+// [u16 len | account | u16 len | nonce | 8B gen | 32B session key].
+func encodeTicketState(st *ticketState) []byte {
+	out := make([]byte, 0, 2+len(st.account)+2+len(st.nonce)+8+len(st.key))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(st.account)))
+	out = append(out, st.account...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(st.nonce)))
+	out = append(out, st.nonce...)
+	out = binary.BigEndian.AppendUint64(out, st.gen)
+	return append(out, st.key...)
+}
+
+// decodeTicketState parses an encodeTicketState layout, rejecting
+// truncated or oversized input. Malformed plaintext can only come from
+// a server bug (the AEAD already authenticated it), but the decoder
+// stays defensive anyway.
+func decodeTicketState(b []byte) (*ticketState, bool) {
+	st := &ticketState{}
+	read := func(n int) ([]byte, bool) {
+		if len(b) < n {
+			return nil, false
+		}
+		out := b[:n]
+		b = b[n:]
+		return out, true
+	}
+	readPrefixed := func() ([]byte, bool) {
+		lb, ok := read(2)
+		if !ok {
+			return nil, false
+		}
+		return read(int(binary.BigEndian.Uint16(lb)))
+	}
+	acct, ok := readPrefixed()
+	if !ok {
+		return nil, false
+	}
+	st.account = string(acct)
+	nonce, ok := readPrefixed()
+	if !ok {
+		return nil, false
+	}
+	st.nonce = protocol.Nonce(nonce)
+	gb, ok := read(8)
+	if !ok {
+		return nil, false
+	}
+	st.gen = binary.BigEndian.Uint64(gb)
+	if len(b) != pki.SessionKeySize {
+		return nil, false
+	}
+	st.key = append([]byte(nil), b...)
+	return st, true
+}
+
+// ticketAAD binds the server's domain into every seal/open.
+func (s *Server) ticketAAD() []byte {
+	return append([]byte(ticketAADLabel), s.domain...)
+}
+
+// lockedEntropy adapts the server's entropy stream to io.Reader for
+// pki sealing, taking the entropy mutex per read. entropyMu is a leaf
+// in the lock hierarchy, so callers may hold session or shard locks.
+type lockedEntropy struct{ s *Server }
+
+func (l lockedEntropy) Read(p []byte) (int, error) {
+	l.s.entropyMu.Lock()
+	defer l.s.entropyMu.Unlock()
+	return l.s.entropy.Read(p)
+}
+
+var _ io.Reader = lockedEntropy{}
+
+// issueTicket mints a fresh resumption ticket for an account binding
+// and the session key it should resume from: register a single-use
+// nonce, seal the state under the current epoch's ticket key. Returns
+// nil when sealing fails (deterministic entropy cannot fail in
+// practice); a nil ticket simply leaves the response without one and
+// the device falls back to full login.
+func (s *Server) issueTicket(now time.Duration, acct *Account, sessionKey []byte) []byte {
+	n := s.mintNonce()
+	s.nonces.issue(n, now)
+	st := &ticketState{account: acct.ID, gen: acct.Gen, nonce: n, key: sessionKey}
+	ticket, err := s.tickets.Seal(now, encodeTicketState(st), s.ticketAAD(), lockedEntropy{s})
+	if err != nil {
+		return nil
+	}
+	return ticket
+}
+
+// openTicket unseals and parses a presented ticket. Every failure —
+// expired or future epoch, tampered ciphertext, malformed plaintext —
+// collapses to ErrBadTicket: the distinctions are not actionable for a
+// client beyond "fall back to full login", and a single code keeps the
+// rejection oracle narrow.
+func (s *Server) openTicket(now time.Duration, ticket []byte) (*ticketState, error) {
+	pt, err := s.tickets.Open(now, ticket, s.ticketAAD())
+	if err != nil {
+		return nil, ErrBadTicket
+	}
+	st, ok := decodeTicketState(pt)
+	if !ok {
+		return nil, ErrBadTicket
+	}
+	return st, nil
+}
