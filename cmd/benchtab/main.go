@@ -184,6 +184,12 @@ func writeServerJSON(path string, seed uint64) error {
 		{Devices: 8, Transport: loadgen.Stream, Mode: loadgen.PageRequest, Seed: seed,
 			StreamFaults: device.StreamFaultProfile{CutRate: 0.1, TearRate: 0.25, HandshakeGrace: 1},
 			RetryAttempts: 4},
+		// Durable-store rows: the WAL enroll row against the in-memory
+		// enroll row directly above it prices the synced append every
+		// acknowledged enrollment pays on the durable backend
+		// (docs/persistence.md).
+		{Devices: 8, Transport: loadgen.Direct, Mode: loadgen.Enroll, Seed: seed},
+		{Devices: 8, Transport: loadgen.Direct, Mode: loadgen.Enroll, Seed: seed, Backend: loadgen.WALBackend},
 	}
 	var results []loadgen.Result
 	for _, cfg := range configs {
@@ -198,6 +204,17 @@ func writeServerJSON(path string, seed uint64) error {
 		results = append(results, res)
 		fmt.Fprintf(os.Stderr, "%-28s %12.0f ops/sec %10.2fµs p50 %10.2fµs p99 %6d allocs/op\n",
 			res.Name, res.OpsPerSec, float64(res.P50Ns)/1e3, float64(res.P99Ns)/1e3, res.AllocsPerOp)
+	}
+	// Recovery rows: snapshot-load + WAL-replay time for a cold server
+	// start at each account-store size (the crash-recovery downtime).
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		runtime.GC()
+		res, err := loadgen.MeasureRecovery(n)
+		if err != nil {
+			return fmt.Errorf("wal-recovery %d: %w", n, err)
+		}
+		results = append(results, res)
+		fmt.Fprintf(os.Stderr, "%-28s %12.2fms per recovery\n", res.Name, float64(res.NsPerOp)/1e6)
 	}
 	report := loadgen.NewReport(results)
 	data, err := json.MarshalIndent(report, "", "  ")

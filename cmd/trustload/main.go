@@ -13,6 +13,9 @@
 //	trustload -mode churn -devices 8        # 1-in-8 cold logins mixed into resumes
 //	trustload -faults 0.2 -retries 4       # 20% loss each way, 4-attempt budget
 //	trustload -json BENCH_server.json      # machine-readable report
+//	trustload -mode enroll -backend wal    # durable enrollment (WAL append+sync per op)
+//	trustload -kill -devices 4             # kill churn sweep: hard-kill + restart over
+//	                                       # the WAL, zero lost enrollments required
 package main
 
 import (
@@ -39,6 +42,10 @@ func main() {
 		batch     = flag.Int("batch", 0, "requests pipelined per touch batch (stream transport only)")
 		cut       = flag.Float64("cut", 0, "mid-frame cut rate on streamed writes (0..1, stream transport only)")
 		tear      = flag.Float64("tear", 0, "torn-write rate on streamed writes (0..1, stream transport only)")
+		backend   = flag.String("backend", "memory", "account store backend: memory|wal")
+		kill      = flag.Bool("kill", false, "run the kill churn sweep (hard-kill + restart over the WAL backend) instead of a throughput scenario")
+		killSets  = flag.Int("kill-rounds", 3, "kill+restart cycles in the -kill sweep")
+		killEach  = flag.Int("kill-budget", 32, "enrollments acknowledged per round before the kill in the -kill sweep")
 	)
 	flag.Parse()
 	if *faults < 0 || *faults >= 1 {
@@ -77,9 +84,18 @@ func main() {
 		"login":  loadgen.Login,
 		"resume": loadgen.Resume,
 		"churn":  loadgen.Churn,
+		"enroll": loadgen.Enroll,
 	}[*mode]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "trustload: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	be, ok := map[string]loadgen.Backend{
+		"memory": loadgen.MemoryBackend,
+		"wal":    loadgen.WALBackend,
+	}[*backend]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "trustload: unknown backend %q\n", *backend)
 		os.Exit(2)
 	}
 
@@ -93,6 +109,46 @@ func main() {
 		counts = append(counts, n)
 	}
 
+	if *kill {
+		// The kill sweep's report must be byte-for-byte identical at
+		// every worker count: run it once per requested count and
+		// compare the marshalled reports.
+		var prev []byte
+		for _, n := range counts {
+			rep, err := loadgen.KillSweep(loadgen.KillConfig{
+				Workers: n, Rounds: *killSets, Budget: *killEach, Seed: *seed,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trustload: kill sweep (%d workers): %v\n", n, err)
+				os.Exit(1)
+			}
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trustload: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("kill sweep, %d workers: acked=%d recovered=%d lost=%d resurrected=%d torn-tails=%d\n",
+				n, rep.Acked, rep.Recovered, rep.Lost, rep.Resurrected, rep.TornTails)
+			if rep.Lost != 0 || rep.Resurrected != 0 || rep.Acked != rep.Recovered {
+				fmt.Fprintf(os.Stderr, "trustload: DURABILITY VIOLATION: %s\n", data)
+				os.Exit(1)
+			}
+			if prev != nil && string(prev) != string(data) {
+				fmt.Fprintf(os.Stderr, "trustload: kill report differs across worker counts:\n%s\nvs\n%s\n", prev, data)
+				os.Exit(1)
+			}
+			prev = data
+			if *jsonPath != "" {
+				if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "trustload: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Println("kill sweep: zero lost enrollments, report byte-stable across worker counts")
+		return
+	}
+
 	var results []loadgen.Result
 	fmt.Printf("%-28s %10s %12s %10s %10s %8s\n", "scenario", "ops", "ops/sec", "p50", "p99", "allocs")
 	for _, n := range counts {
@@ -102,6 +158,7 @@ func main() {
 			StreamFaults:  device.StreamFaultProfile{CutRate: *cut, TearRate: *tear, HandshakeGrace: 1},
 			RetryAttempts: *retries,
 			Batch:         *batch,
+			Backend:       be,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trustload: %v\n", err)

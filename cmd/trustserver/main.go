@@ -6,6 +6,9 @@
 // Usage:
 //
 //	trustserver -addr :8443 -domain bank.example -caseed 2012
+//	trustserver -wal /var/lib/trust   # durable account store: WAL +
+//	                                  # snapshot in the directory, acked
+//	                                  # enrollments survive a kill -9
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"net/http"
 
 	"trust/internal/pki"
+	"trust/internal/store"
 	"trust/internal/webserver"
 )
 
@@ -24,6 +28,7 @@ func main() {
 		domain = flag.String("domain", "bank.example", "server domain")
 		caSeed = flag.Uint64("caseed", 2012, "deterministic CA seed shared with devices")
 		seed   = flag.Uint64("seed", 1, "server key seed")
+		walDir = flag.String("wal", "", "directory for the durable account store (WAL + snapshot); empty = in-memory only")
 	)
 	flag.Parse()
 
@@ -31,10 +36,26 @@ func main() {
 	if err != nil {
 		log.Fatalf("trustserver: CA: %v", err)
 	}
-	srv, err := webserver.New(*domain, ca, *seed)
+	backend := store.AccountBackend(store.Memory{})
+	if *walDir != "" {
+		fsys, err := store.NewDirFS(*walDir)
+		if err != nil {
+			log.Fatalf("trustserver: wal dir: %v", err)
+		}
+		wal, err := store.OpenWAL(fsys, store.WALOptions{})
+		if err != nil {
+			log.Fatalf("trustserver: open wal: %v", err)
+		}
+		st := wal.Stats()
+		fmt.Printf("durable store %s: recovered %d accounts (%d revoked, seq %d, %d torn tail bytes discarded)\n",
+			*walDir, st.Live, st.Revoked, st.Seq, st.TornTailBytes)
+		backend = wal
+	}
+	srv, err := webserver.NewDurable(*domain, ca, *seed, backend)
 	if err != nil {
 		log.Fatalf("trustserver: %v", err)
 	}
+	defer srv.Close()
 	fmt.Printf("TRUST server for %s listening on %s (CA seed %d)\n", *domain, *addr, *caSeed)
 	fmt.Println("endpoints: /trust/cert /trust/register /trust/login /trust/page /trust/audit")
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))

@@ -74,10 +74,10 @@ func main() {
 	fmt.Println("   session revoked by the bank")
 
 	// --- Recovery: identity reset with the fallback password.
-	if err := bank.ResetIdentity("carol", "wrong-guess"); err == nil {
+	if err := bank.ResetIdentity(now, "carol", "wrong-guess"); err == nil {
 		log.Fatal("reset with wrong password accepted")
 	}
-	if err := bank.ResetIdentity("carol", "carols-recovery-pw"); err != nil {
+	if err := bank.ResetIdentity(now, "carol", "carols-recovery-pw"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("4. carol reset her identity at the bank (old device key unbound)")

@@ -13,9 +13,10 @@ import (
 // no two shard locks — same store or different stores — are ever held
 // together. It also flags blocking operations (channel sends and
 // receives, selects, writes to interface-typed readers/writers such as
-// net.Conn, HTTP round trips) made while a shard or session lock is
-// held: one stalled peer would serialize every request contending on
-// that lock. Both checks see through intra-package calls via the
+// net.Conn, HTTP round trips, os.File writes/reads/syncs and durable
+// WAL appends) made while a shard or session lock is held: one stalled
+// peer — or one slow fsync — would serialize every request contending
+// on that lock. Both checks see through intra-package calls via the
 // call-graph core; calls through function values or interfaces are not
 // tracked, and mutexes outside the ordering table (per-connection write
 // locks, test-local mutexes) are invisible to the rule.
@@ -93,6 +94,15 @@ var externalBlocking = map[string]string{
 	"(*net/http.Client).Post":            "HTTP round trip",
 	"(*net/http.Client).PostForm":        "HTTP round trip",
 	"(*net/http.Transport).RoundTrip":    "HTTP round trip",
+	// Disk I/O blocks like a peer does: a synced WAL append under a
+	// shard lock would serialize every enrollment on one fsync. The
+	// durable enroll path appends OUTSIDE the shard lock (two-phase
+	// claim, docs/persistence.md); these entries keep it that way.
+	"(*os.File).Write": "file write (disk I/O)",
+	"(*os.File).Read":  "file read (disk I/O)",
+	"(*os.File).Sync":  "file sync (disk I/O)",
+	"(trust/internal/store.AccountBackend).Append": "durable WAL append (disk I/O)",
+	"(*trust/internal/store.WAL).Append":           "durable WAL append (disk I/O)",
 }
 
 // Fact-key prefixes for the propagated summaries.
@@ -420,6 +430,10 @@ func isBlockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	switch fn.Name() {
 	case "Read", "Write":
 		return "interface " + fn.Name() + " (potential socket I/O)", true
+	case "Sync":
+		// The store's fs.File interface (and anything file-shaped): a
+		// sync is an fsync on the durable path — disk-speed blocking.
+		return "interface Sync (potential disk I/O)", true
 	case "RoundTrip":
 		return "HTTP round trip", true
 	}

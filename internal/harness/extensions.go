@@ -344,7 +344,7 @@ func XTransfer(seed uint64) (Result, error) {
 	rows[len(rows)-1][1] = boolCell(thiefErr != nil) + " (rejected)"
 
 	// Reset at the server with the recovery password.
-	resetErr := r.server.ResetIdentity("acct-x", "recovery-pw")
+	resetErr := r.server.ResetIdentity(r.now, "acct-x", "recovery-pw")
 	ok("identity reset at server (recovery password)", resetErr)
 	_, stillBound := r.server.Account("acct-x")
 

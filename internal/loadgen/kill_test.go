@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestKillSweepZeroLoss: the tentpole end-to-end churn contract — every
+// acknowledged enrollment survives every hard kill, nothing
+// unacknowledged is resurrected, every kill's torn tail is discarded.
+func TestKillSweepZeroLoss(t *testing.T) {
+	rep, err := KillSweep(KillConfig{Workers: 2, Rounds: 3, Budget: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("%d acked enrollments LOST", rep.Lost)
+	}
+	if rep.Resurrected != 0 {
+		t.Fatalf("%d unacked accounts resurrected", rep.Resurrected)
+	}
+	if want := 3 * 8; rep.Acked != want || rep.Recovered != want {
+		t.Fatalf("acked=%d recovered=%d, want %d", rep.Acked, rep.Recovered, want)
+	}
+	if rep.TornTails != 3 {
+		t.Fatalf("torn tails discarded = %d, want one per kill (3)", rep.TornTails)
+	}
+}
+
+// TestKillSweepByteStableAcrossWorkers: the report is a function of
+// (rounds, budget) only — 1 worker and 4 workers must marshal to
+// identical bytes.
+func TestKillSweepByteStableAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple sweeps under -short")
+	}
+	var prev []byte
+	for _, workers := range []int{1, 4} {
+		rep, err := KillSweep(KillConfig{Workers: workers, Rounds: 2, Budget: 6, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && string(prev) != string(data) {
+			t.Fatalf("report differs across worker counts:\n%s\nvs\n%s", prev, data)
+		}
+		prev = data
+	}
+}
+
+func TestKillSweepRejectsBadConfig(t *testing.T) {
+	if _, err := KillSweep(KillConfig{Workers: 0, Rounds: 1, Budget: 1}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+// TestRunEnrollWAL: the enroll scenario over the durable backend — the
+// measured path pays a synced WAL append per acknowledged op.
+func TestRunEnrollWAL(t *testing.T) {
+	res, err := Run(Config{Devices: 2, Transport: Direct, Mode: Enroll, Seed: 3, Backend: WALBackend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "enroll-wal_direct_2" {
+		t.Fatalf("scenario name %q", res.Name)
+	}
+	if res.Ops < 1 || res.NsPerOp <= 0 {
+		t.Fatalf("implausible result %+v", res)
+	}
+}
+
+func TestMeasureRecovery(t *testing.T) {
+	res, err := MeasureRecovery(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "wal-recovery_500" {
+		t.Fatalf("name %q", res.Name)
+	}
+	if res.NsPerOp <= 0 {
+		t.Fatalf("implausible recovery time %d", res.NsPerOp)
+	}
+}

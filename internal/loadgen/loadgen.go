@@ -28,6 +28,7 @@ import (
 	"trust/internal/pki"
 	"trust/internal/placement"
 	"trust/internal/sim"
+	"trust/internal/store"
 	"trust/internal/touch"
 	"trust/internal/webserver"
 )
@@ -85,6 +86,11 @@ const (
 	// is a cold full login, the rest resume — modeling a fleet where
 	// most reconnects land inside the ticket's epoch window.
 	Churn
+	// Enroll repeats the full Fig 9 registration, each op claiming a
+	// fresh unique account id — the write path the durable backend sits
+	// on. Against the WAL backend every acknowledged op paid one
+	// synced append.
+	Enroll
 )
 
 func (m Mode) String() string {
@@ -97,9 +103,23 @@ func (m Mode) String() string {
 		return "login-resume"
 	case Churn:
 		return "login-churn"
+	case Enroll:
+		return "enroll"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
+
+// Backend selects the account store behind the measured server.
+type Backend int
+
+const (
+	// MemoryBackend is the historical in-memory store (no durability).
+	MemoryBackend Backend = iota
+	// WALBackend persists every account mutation through a
+	// store.WAL over an in-memory filesystem: the full append+sync
+	// code path with none of the host disk's noise.
+	WALBackend
+)
 
 // Config describes one load scenario.
 type Config struct {
@@ -125,11 +145,17 @@ type Config struct {
 	// makes each op a pipelined BrowseBatch of this many actions in one
 	// frame (per-op figures then cover the whole batch).
 	Batch int
+	// Backend selects the account store (MemoryBackend default); the
+	// WAL backend prices durable enrollment on the measured path.
+	Backend Backend
 }
 
 // Name is the scenario's identifier in reports.
 func (c Config) Name() string {
 	mode := c.Mode.String()
+	if c.Backend == WALBackend {
+		mode += "-wal"
+	}
 	if c.Batch > 1 {
 		mode = fmt.Sprintf("%s-batch%d", mode, c.Batch)
 	}
@@ -182,6 +208,18 @@ type fleet struct {
 	devices []*loadDevice
 }
 
+func (fl *fleet) close() {
+	if fl.ts != nil {
+		fl.ts.Close()
+	}
+	if fl.ln != nil {
+		fl.ln.Close()
+	}
+	if fl.server != nil {
+		fl.server.Close()
+	}
+}
+
 // build constructs the server and device fleet serially (the CA's
 // entropy stream and certificate serials are sequential); only the
 // measured traffic runs concurrently.
@@ -193,7 +231,15 @@ func build(cfg Config) (*fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv, err := webserver.New("load.example", ca, cfg.Seed^0x5e7)
+	backend := store.AccountBackend(store.Memory{})
+	if cfg.Backend == WALBackend {
+		wal, err := store.OpenWAL(store.NewMemFS(), store.WALOptions{})
+		if err != nil {
+			return nil, err
+		}
+		backend = wal
+	}
+	srv, err := webserver.NewDurable("load.example", ca, cfg.Seed^0x5e7, backend)
 	if err != nil {
 		return nil, err
 	}
@@ -285,16 +331,20 @@ func build(cfg Config) (*fleet, error) {
 			fl.close()
 			return nil, fmt.Errorf("loadgen: device %d never touch-verified", i)
 		}
-		if err := ld.dev.Register(ld.now, account(i), "recovery-pw"); err != nil {
-			fl.close()
-			return nil, fmt.Errorf("loadgen: device %d register: %w", i, err)
-		}
-		// Every mode except the pure cold-login one needs an established
+		// Enroll mode registers a fresh account per measured op; the
+		// other modes bind the device's own account up front, and every
+		// mode except the pure cold-login one also needs an established
 		// session (PageRequest) or a primed ticket cache (Resume, Churn).
-		if cfg.Mode != Login {
-			if err := ld.dev.Login(ld.now, fl.cert, account(i)); err != nil {
+		if cfg.Mode != Enroll {
+			if err := ld.dev.Register(ld.now, account(i), "recovery-pw"); err != nil {
 				fl.close()
-				return nil, fmt.Errorf("loadgen: device %d login: %w", i, err)
+				return nil, fmt.Errorf("loadgen: device %d register: %w", i, err)
+			}
+			if cfg.Mode != Login {
+				if err := ld.dev.Login(ld.now, fl.cert, account(i)); err != nil {
+					fl.close()
+					return nil, fmt.Errorf("loadgen: device %d login: %w", i, err)
+				}
 			}
 		}
 		fl.devices = append(fl.devices, ld)
@@ -314,15 +364,6 @@ func build(cfg Config) (*fleet, error) {
 
 func account(i int) string { return fmt.Sprintf("load-acct-%d", i) }
 
-func (fl *fleet) close() {
-	if fl.ts != nil {
-		fl.ts.Close()
-	}
-	if fl.ln != nil {
-		fl.ln.Close()
-	}
-}
-
 // op runs one operation on device i. Each device is driven by exactly
 // one goroutine, so its clock and fault stream need no locking. The
 // resilient flows return a backoff-advanced clock which is deliberately
@@ -332,6 +373,11 @@ func (fl *fleet) op(i, iter int) error {
 	ld := fl.devices[i]
 	resilient := ld.dev.Retry != nil
 	switch fl.cfg.Mode {
+	case Enroll:
+		// Each op claims a fresh id, unique per device (the per-device
+		// counter needs no locking; the id embeds the device index).
+		ld.ops++
+		return ld.dev.Register(ld.now, fmt.Sprintf("enroll-%d-%d", i, ld.ops), "recovery-pw")
 	case Login, Resume, Churn:
 		cold := fl.cfg.Mode == Login
 		if fl.cfg.Mode == Churn {

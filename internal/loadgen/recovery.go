@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"trust/internal/store"
+)
+
+// MeasureRecovery times a cold server start over a durable store
+// holding n accounts — snapshot load plus WAL-suffix replay, the
+// downtime a crashed server pays before serving logins again. The
+// result rides BENCH_server.json next to the throughput rows.
+func MeasureRecovery(n int) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("loadgen: recovery over %d accounts", n)
+	}
+	fsys := store.NewMemFS()
+	wal, err := store.OpenWAL(fsys, store.WALOptions{SnapshotEvery: 1 << 14})
+	if err != nil {
+		return Result{}, err
+	}
+	var pub [32]byte
+	var digest [32]byte
+	for i := 0; i < n; i++ {
+		pub[0], digest[0] = byte(i), byte(i>>8)
+		if err := wal.Append(store.Record{
+			Kind:           store.KindEnroll,
+			At:             time.Duration(i) * time.Millisecond,
+			Account:        fmt.Sprintf("recov-acct-%07d", i),
+			Gen:            uint64(i + 1),
+			PublicKey:      pub[:],
+			DeviceSubject:  "recov-dev",
+			RecoveryDigest: digest,
+		}); err != nil {
+			wal.Close()
+			return Result{}, err
+		}
+	}
+	if err := wal.Close(); err != nil {
+		return Result{}, err
+	}
+
+	var openErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N && openErr == nil; i++ {
+			w, err := store.OpenWAL(fsys, store.WALOptions{SnapshotEvery: 1 << 14})
+			if err != nil {
+				openErr = err
+				return
+			}
+			if got := w.Stats().Live; got != n {
+				openErr = fmt.Errorf("loadgen: recovered %d accounts, want %d", got, n)
+			}
+			w.Close()
+		}
+	})
+	if openErr != nil {
+		return Result{}, openErr
+	}
+	out := Result{
+		Name:        fmt.Sprintf("wal-recovery_%d", n),
+		Ops:         res.N,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		P50Ns:       res.NsPerOp(),
+		P99Ns:       res.NsPerOp(),
+	}
+	if s := res.T.Seconds(); s > 0 {
+		out.OpsPerSec = float64(res.N) / s
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentAppend exercises the WAL's lock under -race: many
+// goroutines appending distinct accounts, every acked record recovered.
+func TestConcurrentAppend(t *testing.T) {
+	fsys := NewMemFS()
+	w := mustOpen(t, fsys, WALOptions{SnapshotEvery: 64})
+	const workers, perWorker = 16, 25
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec := testRecord(g*perWorker + i)
+				rec.Gen = 0 // gens are assigned by the caller in real use; any value is legal
+				if err := w.Append(rec); err != nil {
+					t.Errorf("worker %d append %d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	w.Close()
+	r := mustOpen(t, fsys, WALOptions{})
+	defer r.Close()
+	if got := r.Stats().Live; got != workers*perWorker {
+		t.Fatalf("recovered %d, want %d", got, workers*perWorker)
+	}
+}
+
+// buildAccounts populates a WAL with n live accounts (with interleaved
+// resets so compaction does real work) and returns the filesystem.
+func buildAccounts(tb testing.TB, n int, opts WALOptions) *MemFS {
+	tb.Helper()
+	fsys := NewMemFS()
+	w, err := OpenWAL(fsys, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(testRecord(i)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	w.Close()
+	return fsys
+}
+
+// TestRecovery100kBudget bounds snapshot+replay recovery at 100k
+// accounts. The budget is generous (the suite runs on one shared core)
+// but still catches accidentally quadratic replay: at 100k accounts a
+// quadratic path costs minutes, not seconds.
+func TestRecovery100kBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-account recovery is slow under -short")
+	}
+	const n = 100_000
+	fsys := buildAccounts(t, n, WALOptions{SnapshotEvery: 1 << 14})
+	var openErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N && openErr == nil; i++ {
+			w, err := OpenWAL(fsys, WALOptions{SnapshotEvery: 1 << 14})
+			if err != nil {
+				openErr = err
+				return
+			}
+			if got := w.Stats().Live; got != n {
+				openErr = fmt.Errorf("recovered %d, want %d", got, n)
+			}
+			w.Close()
+		}
+	})
+	if openErr != nil {
+		t.Fatal(openErr)
+	}
+	elapsed := time.Duration(res.NsPerOp())
+	const budget = 30 * time.Second
+	if elapsed > budget {
+		t.Fatalf("recovery of %d accounts took %v, budget %v", n, elapsed, budget)
+	}
+	t.Logf("recovered %d accounts in %v", n, elapsed)
+}
+
+// BenchmarkWALAppend measures the per-enroll durable append cost — the
+// number BENCH_server.json's enroll-wal row pays over the memory row.
+func BenchmarkWALAppend(b *testing.B) {
+	fsys := NewMemFS()
+	w, err := OpenWAL(fsys, WALOptions{SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	rec := testRecord(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Account = fmt.Sprintf("acct-%08d", i)
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppendCompacting includes amortized snapshot cost.
+func BenchmarkWALAppendCompacting(b *testing.B) {
+	fsys := NewMemFS()
+	w, err := OpenWAL(fsys, WALOptions{SnapshotEvery: DefaultSnapshotEvery})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	rec := testRecord(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Account = fmt.Sprintf("acct-%08d", i)
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRecovery(b *testing.B, n int) {
+	fsys := buildAccounts(b, n, WALOptions{SnapshotEvery: 1 << 14})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := OpenWAL(fsys, WALOptions{SnapshotEvery: 1 << 14})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := w.Stats().Live; got != n {
+			b.Fatalf("recovered %d, want %d", got, n)
+		}
+		w.Close()
+	}
+}
+
+func BenchmarkRecovery1k(b *testing.B)   { benchRecovery(b, 1_000) }
+func BenchmarkRecovery10k(b *testing.B)  { benchRecovery(b, 10_000) }
+func BenchmarkRecovery100k(b *testing.B) { benchRecovery(b, 100_000) }

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// ErrStorage is the typed failure every write-path error wraps: the
+// backend could not make a record durable, so the server must not
+// acknowledge the operation. The webserver degrades explicitly on it —
+// new enrollments are rejected, already-durable accounts keep being
+// served — instead of wedging (docs/persistence.md "Degraded mode").
+var ErrStorage = errors.New("store: storage backend failure")
+
+// ErrCorrupt marks log or snapshot damage that is NOT a torn tail: a
+// bad frame with valid frames after it, or an unreadable snapshot.
+// Torn tails (the crash case) are discarded silently on open;
+// mid-file corruption refuses to open, because silently dropping the
+// suffix would lose acknowledged records.
+var ErrCorrupt = errors.New("store: corrupt record file")
+
+// Kind is the durable operation a record logs.
+type Kind uint8
+
+const (
+	// KindEnroll binds an account to a public key (Fig 9 registration).
+	KindEnroll Kind = 1
+	// KindReset removes a binding via the paper's identity-reset flow;
+	// the id may be re-enrolled under a bumped generation.
+	KindReset Kind = 2
+	// KindRevoke tombstones an account: the binding is removed AND the
+	// id may never be claimed again (lost-device takeover block).
+	KindRevoke Kind = 3
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEnroll:
+		return "enroll"
+	case KindReset:
+		return "reset"
+	case KindRevoke:
+		return "revoke"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one durable account-store operation on the virtual clock.
+// Enroll records carry the full binding; reset and revoke carry only
+// the identity (Gen names the binding generation they act on).
+type Record struct {
+	Kind Kind
+	// At is the operation's virtual timestamp (the protocol `now`).
+	At time.Duration
+	// Account is the bound account id.
+	Account string
+	// Gen is the binding generation: assigned at claim for enrolls,
+	// the removed binding's generation for resets and revokes.
+	Gen uint64
+	// PublicKey is the enrolled ed25519 verification key (enroll only).
+	PublicKey []byte
+	// DeviceSubject is the enrolling device certificate's subject
+	// (enroll only).
+	DeviceSubject string
+	// RecoveryDigest is the sha256 digest of the recovery credential,
+	// all-zero when none was enrolled (enroll only).
+	RecoveryDigest [32]byte
+}
+
+// AccountBackend is the pluggable durability layer behind the
+// webserver's account store. Append must be called OUTSIDE any shard
+// or session lock (it blocks on storage; trustlint's lockorder rule
+// polices this) and must return only after the record is durable —
+// the caller acknowledges the client operation on nil. State exposes
+// what the backend recovered at open.
+type AccountBackend interface {
+	// Append makes one record durable. Errors wrap ErrStorage.
+	Append(rec Record) error
+	// State returns the effective records recovered at open — one
+	// enroll per live binding plus one revoke per tombstone, sorted by
+	// account id — and the generation high-water mark.
+	State() ([]Record, uint64)
+	// Close releases file handles. Records appended before Close are
+	// durable regardless (Append syncs per record).
+	Close() error
+}
+
+// Memory is the no-op backend: the historical in-memory account store,
+// which loses everything on restart. It exists so the backend seam has
+// a zero-cost default.
+type Memory struct{}
+
+func (Memory) Append(Record) error       { return nil }
+func (Memory) State() ([]Record, uint64) { return nil, 0 }
+func (Memory) Close() error              { return nil }
+
+// Frame layout (docs/persistence.md "Record grammar"):
+//
+//	frame   := length(u32 LE) || crc32(u32 LE) || payload
+//	payload := seq(u64) || kind(u8) || at(i64 ns) || gen(u64) ||
+//	           len16(account) || account ||
+//	           [ len16(pubkey) || pubkey ||
+//	             len16(subject) || subject || digest(32) ]   (enroll only)
+//
+// length counts payload bytes; crc32 (IEEE) covers the payload. The
+// same framing carries snapshot entries (seq 0). All integers are
+// little-endian; the encoding is fully deterministic, so identical
+// record streams produce byte-identical files.
+const (
+	frameHeaderSize = 8
+	// maxPayload bounds a declared payload length during replay so a
+	// corrupt length field cannot demand gigabytes.
+	maxPayload = 1 << 20
+)
+
+// appendFrame encodes rec (with its sequence number) as one frame onto
+// buf and returns the extended slice.
+func appendFrame(buf []byte, seq uint64, rec Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc placeholder
+	p := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = append(buf, byte(rec.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.At))
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Gen)
+	buf = appendBytes16(buf, []byte(rec.Account))
+	if rec.Kind == KindEnroll {
+		buf = appendBytes16(buf, rec.PublicKey)
+		buf = appendBytes16(buf, []byte(rec.DeviceSubject))
+		buf = append(buf, rec.RecoveryDigest[:]...)
+	}
+	payload := buf[p:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+func appendBytes16(buf, b []byte) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(b)))
+	return append(buf, b...)
+}
+
+// decodeFrame parses one frame at the start of data, returning the
+// record, its seq, and the total frame size consumed. Errors:
+// errShortFrame when data ends before the declared frame does (a torn
+// tail candidate), errBadFrame when the checksum or structure is
+// wrong.
+var (
+	errShortFrame = errors.New("store: truncated frame")
+	errBadFrame   = errors.New("store: bad frame")
+)
+
+func decodeFrame(data []byte) (rec Record, seq uint64, size int, err error) {
+	if len(data) < frameHeaderSize {
+		return rec, 0, 0, errShortFrame
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if n > maxPayload {
+		return rec, 0, 0, errBadFrame
+	}
+	if len(data) < frameHeaderSize+n {
+		return rec, 0, 0, errShortFrame
+	}
+	payload := data[frameHeaderSize : frameHeaderSize+n]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return rec, 0, 0, errBadFrame
+	}
+	rec, seq, err = decodePayload(payload)
+	if err != nil {
+		return rec, 0, 0, err
+	}
+	return rec, seq, frameHeaderSize + n, nil
+}
+
+func decodePayload(p []byte) (Record, uint64, error) {
+	var rec Record
+	if len(p) < 8+1+8+8 {
+		return rec, 0, errBadFrame
+	}
+	seq := binary.LittleEndian.Uint64(p)
+	rec.Kind = Kind(p[8])
+	rec.At = time.Duration(binary.LittleEndian.Uint64(p[9:]))
+	rec.Gen = binary.LittleEndian.Uint64(p[17:])
+	p = p[25:]
+	acct, p, ok := readBytes16(p)
+	if !ok {
+		return rec, 0, errBadFrame
+	}
+	rec.Account = string(acct)
+	switch rec.Kind {
+	case KindEnroll:
+		var pub, subj []byte
+		if pub, p, ok = readBytes16(p); !ok {
+			return rec, 0, errBadFrame
+		}
+		if subj, p, ok = readBytes16(p); !ok {
+			return rec, 0, errBadFrame
+		}
+		if len(p) != 32 {
+			return rec, 0, errBadFrame
+		}
+		rec.PublicKey = append([]byte(nil), pub...)
+		rec.DeviceSubject = string(subj)
+		copy(rec.RecoveryDigest[:], p)
+	case KindReset, KindRevoke:
+		if len(p) != 0 {
+			return rec, 0, errBadFrame
+		}
+	default:
+		return rec, 0, errBadFrame
+	}
+	return rec, seq, nil
+}
+
+func readBytes16(p []byte) (b, rest []byte, ok bool) {
+	if len(p) < 2 {
+		return nil, nil, false
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if len(p) < 2+n {
+		return nil, nil, false
+	}
+	return p[2 : 2+n], p[2+n:], true
+}

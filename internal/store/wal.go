@@ -1,0 +1,433 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"sort"
+	"sync"
+)
+
+// File names inside the WAL's FS. There is exactly one live log and at
+// most one snapshot; the tmp name exists only between a snapshot write
+// and its atomic rename.
+const (
+	walName     = "wal.log"
+	snapName    = "snapshot.dat"
+	snapTmpName = "snapshot.tmp"
+)
+
+// snapMagic heads every snapshot file, versioning the format.
+const snapMagic = "TRUSTSNP1\n"
+
+// DefaultSnapshotEvery is the compaction threshold: after this many
+// appended records since the last snapshot, the live state is written
+// as a snapshot and the log is reset.
+const DefaultSnapshotEvery = 1024
+
+// WALOptions configures OpenWAL.
+type WALOptions struct {
+	// SnapshotEvery is the record-count compaction threshold; 0 means
+	// DefaultSnapshotEvery, negative disables compaction (the log only
+	// grows — the configuration the recovery-equivalence tests use).
+	SnapshotEvery int
+}
+
+func (o WALOptions) snapshotEvery() int {
+	if o.SnapshotEvery == 0 {
+		return DefaultSnapshotEvery
+	}
+	return o.SnapshotEvery
+}
+
+// WALStats describes what OpenWAL found and what the WAL has done
+// since.
+type WALStats struct {
+	// Live is the number of live bindings (enrolls minus resets and
+	// revokes).
+	Live int
+	// Revoked is the number of tombstoned accounts.
+	Revoked int
+	// Seq is the last assigned record sequence number.
+	Seq uint64
+	// SnapshotSeq is the sequence the current snapshot covers through
+	// (0: no snapshot).
+	SnapshotSeq uint64
+	// TornTailBytes counts log bytes discarded at open as a torn tail.
+	TornTailBytes int
+	// Snapshots counts compactions performed by this handle.
+	Snapshots int
+}
+
+// WAL is the durable account backend: an append-only record log with
+// snapshot compaction. Every Append is synced before it returns, so a
+// nil Append means the record survives any crash. One mutex serializes
+// appends; it is a leaf in this package (no other lock is taken under
+// it) and the webserver calls Append outside its shard locks — see
+// docs/server-scaling.md and trustlint's lockorder rule.
+type WAL struct {
+	fsys FS
+	opts WALOptions
+
+	mu      sync.Mutex
+	w       File
+	failed  bool
+	seq     uint64
+	snapSeq uint64
+	since   int // records appended since the last snapshot
+	gen     uint64
+	live    map[string]Record
+	revoked map[string]Record
+	buf     []byte
+	stats   WALStats
+}
+
+// OpenWAL opens (or creates) the log in fsys, replaying the snapshot
+// and then every log record after it. A torn tail — an incomplete or
+// checksum-failing final frame, the signature of a crash mid-append —
+// is discarded and the log is rewritten without it; damage anywhere
+// else fails with ErrCorrupt, because dropping records that were once
+// acknowledged must never happen silently.
+func OpenWAL(fsys FS, opts WALOptions) (*WAL, error) {
+	w := &WAL{
+		fsys:    fsys,
+		opts:    opts,
+		live:    make(map[string]Record),
+		revoked: make(map[string]Record),
+	}
+	if err := w.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := w.replayLog(); err != nil {
+		return nil, err
+	}
+	h, err := fsys.OpenAppend(walName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: opening log: %v", ErrStorage, err)
+	}
+	w.w = h
+	return w, nil
+}
+
+// loadSnapshot restores the compacted state, if a snapshot exists.
+//
+// Snapshot layout: magic || lastSeq(u64) || gen(u64) || count(u64) ||
+// headerCRC(u32) || count record frames (seq field zero). The file is
+// written in full and synced before being renamed into place, so a
+// snapshot either exists completely or not at all.
+func (w *WAL) loadSnapshot() error {
+	f, err := w.fsys.OpenRead(snapName)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("%w: opening snapshot: %v", ErrStorage, err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%w: reading snapshot: %v", ErrStorage, err)
+	}
+	header := len(snapMagic) + 8 + 8 + 8
+	if len(data) < header+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(data[:header]) != binary.LittleEndian.Uint32(data[header:]) {
+		return fmt.Errorf("%w: snapshot header checksum", ErrCorrupt)
+	}
+	w.snapSeq = binary.LittleEndian.Uint64(data[len(snapMagic):])
+	w.gen = binary.LittleEndian.Uint64(data[len(snapMagic)+8:])
+	count := binary.LittleEndian.Uint64(data[len(snapMagic)+16:])
+	rest := data[header+4:]
+	for i := uint64(0); i < count; i++ {
+		rec, _, size, err := decodeFrame(rest)
+		if err != nil {
+			return fmt.Errorf("%w: snapshot entry %d: %v", ErrCorrupt, i, err)
+		}
+		w.apply(rec)
+		rest = rest[size:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d bytes after last snapshot entry", ErrCorrupt, len(rest))
+	}
+	w.seq = w.snapSeq
+	w.stats.SnapshotSeq = w.snapSeq
+	return nil
+}
+
+// replayLog applies every log record with seq beyond the snapshot,
+// discarding a torn tail (rewriting the log without it) and refusing
+// mid-file corruption.
+func (w *WAL) replayLog() error {
+	f, err := w.fsys.OpenRead(walName)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("%w: opening log: %v", ErrStorage, err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%w: reading log: %v", ErrStorage, err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, seq, size, err := decodeFrame(data[off:])
+		if err != nil {
+			if hasValidFrameBeyond(data[off:]) {
+				return fmt.Errorf("%w: bad frame at offset %d with valid records after it", ErrCorrupt, off)
+			}
+			// Torn tail: the crash hit mid-append. Drop it and rewrite
+			// the log so future appends follow a clean boundary.
+			w.stats.TornTailBytes = len(data) - off
+			if err := w.rewriteLog(data[:off]); err != nil {
+				return err
+			}
+			return nil
+		}
+		if seq > w.seq {
+			w.apply(rec)
+			w.seq = seq
+		}
+		off += size
+	}
+	return nil
+}
+
+// hasValidFrameBeyond reports whether any byte offset within data
+// (past the first) starts a complete, checksum-valid frame — the
+// discriminator between a torn tail (nothing decodable after the
+// damage) and mid-file corruption (acknowledged records follow it).
+func hasValidFrameBeyond(data []byte) bool {
+	for off := 1; off+frameHeaderSize <= len(data); off++ {
+		if _, _, _, err := decodeFrame(data[off:]); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// rewriteLog atomically replaces the log with the given content
+// (write tmp, sync, rename — same discipline as snapshots).
+func (w *WAL) rewriteLog(content []byte) error {
+	tmp := walName + ".tmp"
+	f, err := w.fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("%w: rewriting log: %v", ErrStorage, err)
+	}
+	if len(content) > 0 {
+		if _, err := f.Write(content); err != nil {
+			f.Close()
+			return fmt.Errorf("%w: rewriting log: %v", ErrStorage, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: rewriting log: %v", ErrStorage, err)
+	}
+	f.Close()
+	if err := w.fsys.Rename(tmp, walName); err != nil {
+		return fmt.Errorf("%w: rewriting log: %v", ErrStorage, err)
+	}
+	return nil
+}
+
+// apply folds one record into the in-memory state. Enroll sets the
+// binding, reset removes it, revoke removes it and tombstones the id.
+func (w *WAL) apply(rec Record) {
+	switch rec.Kind {
+	case KindEnroll:
+		w.live[rec.Account] = rec
+		delete(w.revoked, rec.Account)
+	case KindReset:
+		delete(w.live, rec.Account)
+	case KindRevoke:
+		delete(w.live, rec.Account)
+		w.revoked[rec.Account] = rec
+	}
+	if rec.Gen > w.gen {
+		w.gen = rec.Gen
+	}
+}
+
+// Append makes one record durable: a single framed write followed by a
+// sync. On the first failure the WAL latches failed and every later
+// Append fails fast — appending past a torn write would bury damage
+// mid-file, turning a recoverable torn tail into unrecoverable
+// corruption.
+func (w *WAL) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed {
+		return fmt.Errorf("%w: backend latched failed by an earlier error", ErrStorage)
+	}
+	seq := w.seq + 1
+	w.buf = appendFrame(w.buf[:0], seq, rec)
+	if _, err := w.w.Write(w.buf); err != nil {
+		w.failed = true
+		return fmt.Errorf("%w: log append: %v", ErrStorage, err)
+	}
+	if err := w.w.Sync(); err != nil {
+		w.failed = true
+		return fmt.Errorf("%w: log sync: %v", ErrStorage, err)
+	}
+	w.seq = seq
+	w.stats.Seq = seq
+	w.apply(rec)
+	w.since++
+	if every := w.opts.snapshotEvery(); every > 0 && w.since >= every {
+		if err := w.snapshotLocked(); err != nil {
+			// The record IS durable; only compaction failed. Latch
+			// failed anyway: the caller must treat the operation as
+			// unacknowledged, and recovery may resurface it (documented
+			// at-least-once edge in docs/persistence.md).
+			w.failed = true
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotLocked writes the live state as a snapshot (canonical order:
+// sorted by account id, so a snapshot of a given state is
+// byte-identical however that state was reached), publishes it with an
+// atomic rename, and resets the log. Called with w.mu held.
+func (w *WAL) snapshotLocked() error {
+	names := make([]string, 0, len(w.live)+len(w.revoked))
+	for name := range w.live {
+		names = append(names, name)
+	}
+	for name := range w.revoked {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	buf := w.buf[:0]
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, w.seq)
+	buf = binary.LittleEndian.AppendUint64(buf, w.gen)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(names)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	for _, name := range names {
+		rec, ok := w.live[name]
+		if !ok {
+			rec = w.revoked[name]
+		}
+		buf = appendFrame(buf, 0, rec)
+	}
+	w.buf = buf
+
+	f, err := w.fsys.Create(snapTmpName)
+	if err != nil {
+		return fmt.Errorf("%w: snapshot create: %v", ErrStorage, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: snapshot write: %v", ErrStorage, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: snapshot sync: %v", ErrStorage, err)
+	}
+	f.Close()
+	if err := w.fsys.Rename(snapTmpName, snapName); err != nil {
+		return fmt.Errorf("%w: snapshot publish: %v", ErrStorage, err)
+	}
+	// The snapshot is live: everything through w.seq recovers from it,
+	// and replay skips log seqs ≤ snapSeq, so resetting the log now is
+	// safe even if the reset itself is interrupted.
+	w.snapSeq = w.seq
+	w.stats.SnapshotSeq = w.seq
+	w.stats.Snapshots++
+	w.since = 0
+	w.w.Close()
+	nf, err := w.fsys.Create(walName)
+	if err != nil {
+		return fmt.Errorf("%w: log reset: %v", ErrStorage, err)
+	}
+	w.w = nf
+	return nil
+}
+
+// State returns the recovered-and-current effective records — live
+// enrolls plus revoke tombstones, sorted by account — and the
+// generation high-water mark.
+func (w *WAL) State() ([]Record, uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	names := make([]string, 0, len(w.live)+len(w.revoked))
+	for name := range w.live {
+		names = append(names, name)
+	}
+	for name := range w.revoked {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Record, 0, len(names))
+	for _, name := range names {
+		if rec, ok := w.live[name]; ok {
+			out = append(out, rec)
+		} else {
+			out = append(out, w.revoked[name])
+		}
+	}
+	return out, w.gen
+}
+
+// Stats returns open/append statistics.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.stats
+	st.Live = len(w.live)
+	st.Revoked = len(w.revoked)
+	st.Seq = w.seq // recovered seq counts too, not just this handle's appends
+	return st
+}
+
+// Close releases the log handle. Appended records are already durable.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.w != nil {
+		err := w.w.Close()
+		w.w = nil
+		return err
+	}
+	return nil
+}
+
+// ReadLog decodes the raw log (ignoring any snapshot), returning the
+// records in append order and, for each, the byte offset just past its
+// frame — the record boundaries the crash matrix truncates at. A torn
+// tail is reported via the final offset being short of the file size;
+// it is not an error here.
+func ReadLog(fsys FS) (recs []Record, ends []int, err error) {
+	f, err := fsys.OpenRead(walName)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	off := 0
+	for off < len(data) {
+		rec, _, size, err := decodeFrame(data[off:])
+		if err != nil {
+			break
+		}
+		off += size
+		recs = append(recs, rec)
+		ends = append(ends, off)
+	}
+	return recs, ends, nil
+}

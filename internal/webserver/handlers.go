@@ -10,6 +10,7 @@ import (
 	"trust/internal/frame"
 	"trust/internal/pki"
 	"trust/internal/protocol"
+	"trust/internal/store"
 )
 
 // ServeRegistrationPage is Fig 9 step 1: the registration page with a
@@ -37,6 +38,11 @@ func (s *Server) HandleRegistration(now time.Duration, sub *protocol.Registratio
 	if sub == nil {
 		return fail("empty submission")
 	}
+	if s.degraded.Load() {
+		// A previous backend write failed; refuse new enrollments
+		// outright rather than acknowledge what cannot be made durable.
+		return fail(ErrStorage.Error())
+	}
 	if sub.Domain != s.domain {
 		return fail("domain mismatch")
 	}
@@ -63,9 +69,28 @@ func (s *Server) HandleRegistration(now time.Duration, sub *protocol.Registratio
 	if recoveryPassword != "" {
 		acct.RecoveryDigest = sha256.Sum256([]byte(recoveryPassword))
 	}
-	if !s.accounts.claim(acct) {
+	// Two-phase claim: reserve the id under the shard lock, make the
+	// enroll record durable OUTSIDE all locks (the backend blocks on
+	// storage), then publish. Of N concurrent claims on one id exactly
+	// one reserves, so the backend sees exactly one enroll record, and
+	// a binding is never visible before it is durable.
+	if !s.accounts.beginClaim(acct) {
 		return fail(ErrTaken.Error())
 	}
+	if err := s.backend.Append(store.Record{
+		Kind:           store.KindEnroll,
+		At:             now,
+		Account:        acct.ID,
+		Gen:            acct.Gen,
+		PublicKey:      acct.PublicKey,
+		DeviceSubject:  acct.DeviceSubject,
+		RecoveryDigest: acct.RecoveryDigest,
+	}); err != nil {
+		s.accounts.abortClaim(acct.ID)
+		s.degraded.Store(true)
+		return fail(ErrStorage.Error())
+	}
+	s.accounts.commitClaim(acct)
 	s.audit.Append(frame.AuditEntry{
 		Account: sub.Account,
 		PageURL: s.regURL,
@@ -401,8 +426,10 @@ func (s *Server) HumanOriginated(req *protocol.PageRequest) bool {
 // new device can re-register the account. Outstanding resumption
 // tickets die with the binding: until re-registration the account is
 // unknown, and afterwards the fresh binding carries a new generation
-// that old tickets fail to match.
-func (s *Server) ResetIdentity(account, recoveryPassword string) error {
+// that old tickets fail to match. The reset record is made durable
+// before the binding disappears, so a crash after the acknowledgment
+// cannot resurrect the old key.
+func (s *Server) ResetIdentity(now time.Duration, account, recoveryPassword string) error {
 	acct, ok := s.accounts.get(account)
 	if !ok {
 		return ErrUnknownAccount
@@ -416,7 +443,36 @@ func (s *Server) ResetIdentity(account, recoveryPassword string) error {
 	if !enrolled || subtle.ConstantTimeCompare(acct.RecoveryDigest[:], digest[:]) != 1 {
 		return ErrBadRecovery
 	}
+	if err := s.backend.Append(store.Record{Kind: store.KindReset, At: now, Account: account, Gen: acct.Gen}); err != nil {
+		s.degraded.Store(true)
+		return fmt.Errorf("webserver: reset %s: %w", account, err)
+	}
 	s.accounts.remove(account)
+	s.revokeSessions(account)
+	return nil
+}
+
+// RevokeAccount permanently tombstones an account: the binding is
+// removed, live sessions die, and the id can never be claimed again —
+// the takeover block for a device reported stolen with no recovery
+// credential. The revoke record is made durable before the tombstone
+// takes effect.
+func (s *Server) RevokeAccount(now time.Duration, account string) error {
+	acct, ok := s.accounts.get(account)
+	if !ok {
+		return ErrUnknownAccount
+	}
+	if err := s.backend.Append(store.Record{Kind: store.KindRevoke, At: now, Account: account, Gen: acct.Gen}); err != nil {
+		s.degraded.Store(true)
+		return fmt.Errorf("webserver: revoke %s: %w", account, err)
+	}
+	s.accounts.revoke(account)
+	s.revokeSessions(account)
+	return nil
+}
+
+// revokeSessions kills every live session bound to account.
+func (s *Server) revokeSessions(account string) {
 	s.sessions.forEach(func(sess *session) {
 		if sess.account != account {
 			return
@@ -425,5 +481,4 @@ func (s *Server) ResetIdentity(account, recoveryPassword string) error {
 		sess.revoked = true
 		sess.mu.Unlock()
 	})
-	return nil
 }

@@ -50,6 +50,7 @@ var wireErrors = []struct {
 	{ErrBadKey, "bad-key", http.StatusUnprocessableEntity},
 	{ErrRateLimited, "rate-limited", http.StatusTooManyRequests},
 	{ErrBadTicket, "bad-ticket", http.StatusNotAcceptable},
+	{ErrStorage, "storage", http.StatusServiceUnavailable},
 }
 
 // writeError puts a handler rejection on the wire: the matching

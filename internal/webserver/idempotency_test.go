@@ -218,7 +218,7 @@ func TestTypedRejectionsAreSentinels(t *testing.T) {
 	if _, err := r.server.HandleResync(r.now, bad); !errors.Is(err, ErrBadMAC) {
 		t.Errorf("tampered resync error = %v, want ErrBadMAC", err)
 	}
-	if err := r.server.ResetIdentity("typed-acct", "wrong"); !errors.Is(err, ErrBadRecovery) {
+	if err := r.server.ResetIdentity(r.now, "typed-acct", "wrong"); !errors.Is(err, ErrBadRecovery) {
 		t.Errorf("wrong recovery error = %v, want ErrBadRecovery", err)
 	}
 }

@@ -163,7 +163,7 @@ func TestResumeInvalidatedByIdentityReset(t *testing.T) {
 	r.register(t, "acct")
 	sess1, cp1 := r.login(t, "acct")
 
-	if err := r.server.ResetIdentity("acct", "old-password-123"); err != nil {
+	if err := r.server.ResetIdentity(r.now, "acct", "old-password-123"); err != nil {
 		t.Fatalf("reset failed: %v", err)
 	}
 	// Binding gone: the ticket's account no longer exists.

@@ -46,7 +46,7 @@ func TestLoginRateLimiting(t *testing.T) {
 	if _, err := r.server.HandleLogin(r.now, sub); !errors.Is(err, ErrRateLimited) {
 		t.Fatalf("post-lockout login err = %v", err)
 	}
-	if err := r.server.ResetIdentity("victim", "old-password-123"); err != nil {
+	if err := r.server.ResetIdentity(r.now, "victim", "old-password-123"); err != nil {
 		t.Fatal(err)
 	}
 	r.register(t, "victim")

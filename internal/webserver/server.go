@@ -23,6 +23,7 @@ import (
 	"trust/internal/frame"
 	"trust/internal/pki"
 	"trust/internal/protocol"
+	"trust/internal/store"
 )
 
 // RiskPolicy is the server's continuous-auth requirement: of the last
@@ -130,6 +131,16 @@ type Server struct {
 	sessions *sessionStore
 	nonces   *nonceStore
 
+	// backend is the pluggable durability layer behind accounts
+	// (store.Memory for the historical in-memory behavior, *store.WAL
+	// for crash-durable enrollment). Every account mutation appends a
+	// record BEFORE the shard state changes, outside all locks.
+	backend store.AccountBackend
+	// degraded latches on the first backend append failure: new
+	// enrollments are rejected with ErrStorage while already-durable
+	// accounts keep logging in (docs/persistence.md "Degraded mode").
+	degraded atomic.Bool
+
 	// tickets seals session-resumption tickets (ticket.go) under
 	// epoch-rotated keys; immutable after New, internally lock-free.
 	tickets *pki.TicketKeys
@@ -160,8 +171,18 @@ type Server struct {
 	accepted atomic.Int64
 }
 
-// New creates a server for domain with a certificate from ca.
+// New creates a server for domain with a certificate from ca, backed
+// by the in-memory account store (accounts die with the process).
 func New(domain string, ca *pki.CA, seed uint64) (*Server, error) {
+	return NewDurable(domain, ca, seed, store.Memory{})
+}
+
+// NewDurable creates a server whose account store persists through the
+// given backend. Accounts the backend recovered (a WAL replay after a
+// crash) are live immediately: their logins succeed, their resumption
+// tickets validate against the recovered generations, and re-claiming
+// a recovered id fails with ErrTaken. Revoked ids stay unclaimable.
+func NewDurable(domain string, ca *pki.CA, seed uint64, backend store.AccountBackend) (*Server, error) {
 	entropy := pki.NewDeterministicRand(seed ^ 0x5e77e7)
 	keys, err := pki.GenerateKeyPair(entropy)
 	if err != nil {
@@ -191,13 +212,25 @@ func New(domain string, ca *pki.CA, seed uint64) (*Server, error) {
 		nonces:           newNonceStore(DefaultNonceTTL, DefaultNonceCapacity),
 		tickets:          tickets,
 		pages:            make(map[string]*frame.Page),
+		backend:          backend,
 		screenPX:         800,
 		MaxLoginFailures: 10,
 	}
+	recs, gen := backend.State()
+	s.accounts.seed(recs, gen)
 	s.SetRiskPolicy(DefaultRiskPolicy())
 	s.installDefaultPages()
 	return s, nil
 }
+
+// Degraded reports whether a backend write failed: the server is
+// rejecting new enrollments (ErrStorage) while continuing to serve
+// already-durable accounts.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// Close releases the account backend's file handles. The server must
+// not serve traffic afterwards.
+func (s *Server) Close() error { return s.backend.Close() }
 
 // Domain returns the server's domain.
 func (s *Server) Domain() string { return s.domain }
@@ -315,3 +348,9 @@ var (
 	ErrBadRecovery    = errors.New("webserver: recovery password mismatch")
 	ErrBadTicket      = errors.New("webserver: invalid, expired, or replayed resume ticket")
 )
+
+// ErrStorage re-exports the store package's typed write-path failure:
+// the durable backend could not persist a record, so the operation was
+// NOT acknowledged and the server is degraded. Callers classify it with
+// errors.Is exactly like the sentinels above.
+var ErrStorage = store.ErrStorage

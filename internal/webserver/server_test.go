@@ -463,10 +463,10 @@ func TestIdentityReset(t *testing.T) {
 	r.register(t, "acct")
 	sess, _ := r.login(t, "acct")
 
-	if err := r.server.ResetIdentity("acct", "wrong"); err == nil {
+	if err := r.server.ResetIdentity(r.now, "acct", "wrong"); err == nil {
 		t.Fatal("reset with wrong password accepted")
 	}
-	if err := r.server.ResetIdentity("acct", "old-password-123"); err != nil {
+	if err := r.server.ResetIdentity(r.now, "acct", "old-password-123"); err != nil {
 		t.Fatalf("reset failed: %v", err)
 	}
 	if _, ok := r.server.Account("acct"); ok {

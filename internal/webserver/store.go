@@ -1,11 +1,13 @@
 package webserver
 
 import (
+	"crypto/ed25519"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"trust/internal/protocol"
+	"trust/internal/store"
 )
 
 // Sharded state stores. The server's hot path (HandlePageRequest /
@@ -102,6 +104,14 @@ func (st *sessionStore) forEach(visit func(*session)) {
 // failure counters, sharded by account id. The failure counter shares
 // its account's shard so a claim/remove and its counter update never
 // race across locks.
+//
+// Claims are two-phase so durability and shard state cannot diverge:
+// beginClaim reserves the id (pending marker) under the shard lock,
+// the caller appends the enroll record to the backend OUTSIDE every
+// lock (trustlint's lockorder rule polices blocking I/O under shard
+// locks), then commitClaim publishes or abortClaim releases. Of N
+// concurrent claims on one id exactly one passes beginClaim, so the
+// backend sees exactly one enroll record per acknowledged binding.
 type accountStore struct {
 	// gen numbers successful claims; each bound Account carries its
 	// claim's value so re-binding an id after ResetIdentity yields a
@@ -114,6 +124,12 @@ type accountShard struct {
 	mu       sync.RWMutex
 	accounts map[string]*Account
 	failures map[string]int
+	// pending marks ids mid-claim: reserved by beginClaim, not yet
+	// durable. Pending ids refuse concurrent claims.
+	pending map[string]struct{}
+	// revoked tombstones ids whose binding was permanently revoked
+	// (RevokeAccount); a revoked id can never be claimed again.
+	revoked map[string]struct{}
 }
 
 func newAccountStore() *accountStore {
@@ -121,8 +137,33 @@ func newAccountStore() *accountStore {
 	for i := range st.shards {
 		st.shards[i].accounts = make(map[string]*Account)
 		st.shards[i].failures = make(map[string]int)
+		st.shards[i].pending = make(map[string]struct{})
+		st.shards[i].revoked = make(map[string]struct{})
 	}
 	return st
+}
+
+// seed loads the state a durable backend recovered: live bindings,
+// revoke tombstones, and the generation high-water mark. Called before
+// the server serves traffic, so no locks race it.
+func (st *accountStore) seed(recs []store.Record, gen uint64) {
+	st.gen.Store(gen)
+	for _, rec := range recs {
+		sh := &st.shards[shardIndex(rec.Account)]
+		switch rec.Kind {
+		case store.KindEnroll:
+			sh.accounts[rec.Account] = &Account{
+				ID:             rec.Account,
+				PublicKey:      ed25519.PublicKey(rec.PublicKey),
+				DeviceSubject:  rec.DeviceSubject,
+				RecoveryDigest: rec.RecoveryDigest,
+				Gen:            rec.Gen,
+				RegisteredAt:   rec.At,
+			}
+		case store.KindRevoke:
+			sh.revoked[rec.Account] = struct{}{}
+		}
+	}
 }
 
 func (st *accountStore) get(id string) (*Account, bool) {
@@ -135,16 +176,56 @@ func (st *accountStore) get(id string) (*Account, bool) {
 
 // claim atomically binds an account, failing when the id is already
 // bound to a key (the paper's first-writer-wins account binding).
+// Equivalent to beginClaim+commitClaim with no durability step between;
+// the memory-backed fast path and direct store tests use it.
 func (st *accountStore) claim(a *Account) bool {
+	if !st.beginClaim(a) {
+		return false
+	}
+	st.commitClaim(a)
+	return true
+}
+
+// beginClaim reserves an id for claiming: it fails when the id is
+// bound, revoked, or already mid-claim; on success the id is marked
+// pending and a.Gen carries the fresh binding generation. The caller
+// must follow with exactly one commitClaim or abortClaim.
+func (st *accountStore) beginClaim(a *Account) bool {
 	sh := &st.shards[shardIndex(a.ID)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if _, gone := sh.revoked[a.ID]; gone {
+		return false
+	}
+	if _, busy := sh.pending[a.ID]; busy {
+		// A concurrent claim on the same id holds the reservation; this
+		// one loses (first-writer-wins extends to in-flight claims).
+		return false
+	}
 	if old, ok := sh.accounts[a.ID]; ok && len(old.PublicKey) != 0 {
 		return false
 	}
 	a.Gen = st.gen.Add(1)
-	sh.accounts[a.ID] = a
+	sh.pending[a.ID] = struct{}{}
 	return true
+}
+
+// commitClaim publishes a binding whose enroll record is durable.
+func (st *accountStore) commitClaim(a *Account) {
+	sh := &st.shards[shardIndex(a.ID)]
+	sh.mu.Lock()
+	delete(sh.pending, a.ID)
+	sh.accounts[a.ID] = a
+	sh.mu.Unlock()
+}
+
+// abortClaim releases a reservation whose durability step failed; the
+// id becomes claimable again (by a later retry, once storage heals).
+func (st *accountStore) abortClaim(id string) {
+	sh := &st.shards[shardIndex(id)]
+	sh.mu.Lock()
+	delete(sh.pending, id)
+	sh.mu.Unlock()
 }
 
 // remove deletes the binding and its failure counter.
@@ -153,6 +234,16 @@ func (st *accountStore) remove(id string) {
 	sh.mu.Lock()
 	delete(sh.accounts, id)
 	delete(sh.failures, id)
+	sh.mu.Unlock()
+}
+
+// revoke deletes the binding and tombstones the id permanently.
+func (st *accountStore) revoke(id string) {
+	sh := &st.shards[shardIndex(id)]
+	sh.mu.Lock()
+	delete(sh.accounts, id)
+	delete(sh.failures, id)
+	sh.revoked[id] = struct{}{}
 	sh.mu.Unlock()
 }
 
