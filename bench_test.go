@@ -8,8 +8,10 @@ package trust
 
 import (
 	"testing"
+	"time"
 
 	"trust/internal/analysis"
+	"trust/internal/ftdc"
 	"trust/internal/harness"
 )
 
@@ -212,5 +214,28 @@ func BenchmarkTrustlintColdList(b *testing.B) {
 		if len(findings) > 0 {
 			b.Fatalf("tree has %d trustlint finding(s); run go run ./cmd/trustlint ./...", len(findings))
 		}
+	}
+}
+
+// BenchmarkFTDCSample measures the telemetry sampling hot path — one
+// server-sized delta row (74 columns) per op. The allocs/op figure is
+// the zero-alloc claim behind leaving capture enabled in every sweep;
+// benchtab -json records it in BENCH_harness.json as FTDCSample.
+func BenchmarkFTDCSample(b *testing.B) {
+	names := make([]string, 74)
+	for i := range names {
+		names[i] = "metric_column_" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	c := ftdc.NewCapture(ftdc.NewSchema(names))
+	vals := make([]int64, len(names))
+	var now int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += int64(time.Millisecond)
+		for j := range vals {
+			vals[j] += int64(j&7) - 3
+		}
+		c.Sample(now, vals)
 	}
 }

@@ -10,6 +10,9 @@
 //	benchtab -all -seed 99       # different deterministic seed
 //	benchtab -json               # measure every artifact, write BENCH_harness.json
 //	benchtab -server-json -      # measure server throughput, write BENCH_server.json
+//	benchtab -ftdc chaos.ftdc    # chaos sweep with telemetry capture, write the FTDC file
+//	benchtab -ftdc-print chaos.ftdc        # per-metric first/last/min/max table
+//	benchtab -ftdc-diff before.ftdc,after.ftdc   # per-metric final-value deltas
 package main
 
 import (
@@ -19,24 +22,30 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"trust/internal/analysis"
 	"trust/internal/device"
+	"trust/internal/ftdc"
 	"trust/internal/harness"
 	"trust/internal/loadgen"
 )
 
 func main() {
 	var (
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		table    = flag.Int("table", 0, "regenerate Table N (1 or 2)")
-		fig      = flag.Int("fig", 0, "regenerate Figure N (1..10)")
-		ext      = flag.String("x", "", "extension experiment: placement|window|attacks|energy|frameaudit|transfer|fuzzyvault|modalities|hijack|imagepipeline|adaptation|noise|personalization|chaos")
-		seed     = flag.Uint64("seed", harness.Seed, "deterministic experiment seed")
-		out      = flag.String("out", "", "also write each artifact to <out>/<id>.txt")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		table      = flag.Int("table", 0, "regenerate Table N (1 or 2)")
+		fig        = flag.Int("fig", 0, "regenerate Figure N (1..10)")
+		ext        = flag.String("x", "", "extension experiment: placement|window|attacks|energy|frameaudit|transfer|fuzzyvault|modalities|hijack|imagepipeline|adaptation|noise|personalization|chaos")
+		seed       = flag.Uint64("seed", harness.Seed, "deterministic experiment seed")
+		out        = flag.String("out", "", "also write each artifact to <out>/<id>.txt")
 		jsonPath   = flag.String("json", "", "measure every artifact generator and write {name: {ns_per_op, allocs_per_op}} to the given file ('' = off; '-' = BENCH_harness.json)")
 		serverJSON = flag.String("server-json", "", "measure server load scenarios (ops/sec, p50/p99) and write the report to the given file ('' = off; '-' = BENCH_server.json)")
+		ftdcOut    = flag.String("ftdc", "", "run the chaos sweep with telemetry capture and write the FTDC bytes to the given file")
+		ftdcPrint  = flag.String("ftdc-print", "", "pretty-print an FTDC capture file (per-metric first/last/min/max)")
+		ftdcDiff   = flag.String("ftdc-diff", "", "diff two FTDC capture files by final value: comma-separated pair a.ftdc,b.ftdc")
 	)
 	flag.Parse()
 
@@ -63,7 +72,47 @@ func main() {
 		emit(r)
 	}
 
+	readCapture := func(path string) *ftdc.Data {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		d, err := ftdc.Read(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		return d
+	}
+
 	switch {
+	case *ftdcOut != "":
+		res, capture, err := harness.XChaosCapture(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*ftdcOut, capture, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		emit(res)
+		d, err := ftdc.Read(capture)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: capture self-check: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d bytes, %d samples x %d metrics\n", *ftdcOut, len(capture), d.Rows(), len(d.Names))
+	case *ftdcPrint != "":
+		readCapture(*ftdcPrint).Dump(os.Stdout)
+	case *ftdcDiff != "":
+		parts := strings.Split(*ftdcDiff, ",")
+		if len(parts) != 2 {
+			fmt.Fprintf(os.Stderr, "benchtab: -ftdc-diff wants two comma-separated files, got %q\n", *ftdcDiff)
+			os.Exit(2)
+		}
+		ftdc.WriteDiff(os.Stdout, ftdc.Diff(readCapture(parts[0]), readCapture(parts[1])))
 	case *serverJSON != "":
 		path := *serverJSON
 		if path == "-" {
@@ -182,7 +231,7 @@ func writeServerJSON(path string, seed uint64) error {
 		{Devices: 8, Transport: loadgen.Stream, Mode: loadgen.PageRequest, Seed: seed},
 		{Devices: 8, Transport: loadgen.Stream, Mode: loadgen.PageRequest, Seed: seed, Batch: 16},
 		{Devices: 8, Transport: loadgen.Stream, Mode: loadgen.PageRequest, Seed: seed,
-			StreamFaults: device.StreamFaultProfile{CutRate: 0.1, TearRate: 0.25, HandshakeGrace: 1},
+			StreamFaults:  device.StreamFaultProfile{CutRate: 0.1, TearRate: 0.25, HandshakeGrace: 1},
 			RetryAttempts: 4},
 		// Durable-store rows: the WAL enroll row against the in-memory
 		// enroll row directly above it prices the synced append every
@@ -222,6 +271,28 @@ func writeServerJSON(path string, seed uint64) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchFTDCSample drives the FTDC sampling hot path with a
+// server-sized schema, the same loop the package's own BenchmarkSample
+// runs.
+func benchFTDCSample(b *testing.B) {
+	names := make([]string, 74)
+	for i := range names {
+		names[i] = "metric_column_" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	c := ftdc.NewCapture(ftdc.NewSchema(names))
+	vals := make([]int64, len(names))
+	var now int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += int64(time.Millisecond)
+		for j := range vals {
+			vals[j] += int64(j&7) - 3
+		}
+		c.Sample(now, vals)
+	}
 }
 
 // benchEntry is one measured artifact in the -json report.
@@ -327,6 +398,15 @@ func writeBenchJSON(path string, seed uint64) error {
 		}
 		report[l.name] = benchEntry{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
 		fmt.Fprintf(os.Stderr, "%-16s %12d ns/op %12d allocs/op\n", l.name, res.NsPerOp(), res.AllocsPerOp())
+	}
+	// The telemetry sampling hot path: one server-sized delta row per
+	// op (mirrors BenchmarkFTDCSample in bench_test.go and
+	// BenchmarkSample in internal/ftdc). Its allocs/op entry is the
+	// recorded form of the package's zero-alloc claim.
+	{
+		res := testing.Benchmark(benchFTDCSample)
+		report["FTDCSample"] = benchEntry{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
+		fmt.Fprintf(os.Stderr, "%-16s %12d ns/op %12d allocs/op\n", "FTDCSample", res.NsPerOp(), res.AllocsPerOp())
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -46,6 +47,7 @@ func main() {
 		kill      = flag.Bool("kill", false, "run the kill churn sweep (hard-kill + restart over the WAL backend) instead of a throughput scenario")
 		killSets  = flag.Int("kill-rounds", 3, "kill+restart cycles in the -kill sweep")
 		killEach  = flag.Int("kill-budget", 32, "enrollments acknowledged per round before the kill in the -kill sweep")
+		ftdcDir   = flag.String("ftdc", "", "write each scenario's FTDC telemetry capture to <dir>/<scenario>.ftdc (samples the server row every 64 ops)")
 	)
 	flag.Parse()
 	if *faults < 0 || *faults >= 1 {
@@ -152,6 +154,10 @@ func main() {
 	var results []loadgen.Result
 	fmt.Printf("%-28s %10s %12s %10s %10s %8s\n", "scenario", "ops", "ops/sec", "p50", "p99", "allocs")
 	for _, n := range counts {
+		ftdcEvery := 0
+		if *ftdcDir != "" {
+			ftdcEvery = 64
+		}
 		res, err := loadgen.Run(loadgen.Config{
 			Devices: n, Transport: tr, Mode: md, Seed: *seed,
 			Faults:        device.FaultProfile{DropRate: *faults},
@@ -159,10 +165,22 @@ func main() {
 			RetryAttempts: *retries,
 			Batch:         *batch,
 			Backend:       be,
+			FTDCEvery:     ftdcEvery,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trustload: %v\n", err)
 			os.Exit(1)
+		}
+		if *ftdcDir != "" {
+			if err := os.MkdirAll(*ftdcDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "trustload: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*ftdcDir, res.Name+".ftdc")
+			if err := os.WriteFile(path, res.Capture, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "trustload: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		results = append(results, res)
 		fmt.Printf("%-28s %10d %12.0f %9.2fµs %9.2fµs %8d\n",

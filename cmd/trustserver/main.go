@@ -29,6 +29,7 @@ func main() {
 		caSeed = flag.Uint64("caseed", 2012, "deterministic CA seed shared with devices")
 		seed   = flag.Uint64("seed", 1, "server key seed")
 		walDir = flag.String("wal", "", "directory for the durable account store (WAL + snapshot); empty = in-memory only")
+		ftdcN  = flag.Int("ftdc", 0, "sample the telemetry row into an in-memory FTDC capture every N requests (0 = off); fetch it from GET /trust/ftdc")
 	)
 	flag.Parse()
 
@@ -56,7 +57,10 @@ func main() {
 		log.Fatalf("trustserver: %v", err)
 	}
 	defer srv.Close()
+	if *ftdcN > 0 {
+		srv.EnableFTDC(*ftdcN)
+	}
 	fmt.Printf("TRUST server for %s listening on %s (CA seed %d)\n", *domain, *addr, *caSeed)
-	fmt.Println("endpoints: /trust/cert /trust/register /trust/login /trust/page /trust/audit")
+	fmt.Println("endpoints: /trust/cert /trust/register /trust/login /trust/page /trust/audit /trust/ftdc")
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -90,6 +90,8 @@ type Device struct {
 	// module's local continuous auth after the server became
 	// unreachable (the paper's local-mode fallback).
 	degraded bool
+	// tel counts recovery-path events (metrics.go).
+	tel deviceTel
 
 	// Resumption-ticket cache (device goroutine only). The server
 	// attaches an opaque single-use ticket to every login and resume
@@ -274,6 +276,7 @@ func (d *Device) LoginResume(now time.Duration, cert *pki.Certificate, account s
 	}
 	if !errors.Is(err, errNoTicket) {
 		d.clearTicket()
+		d.tel.resumeFallbacks.Add(1)
 	}
 	return d.Login(now, cert, account)
 }

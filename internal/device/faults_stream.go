@@ -1,9 +1,12 @@
 package device
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
+	"trust/internal/protocol"
 	"trust/internal/sim"
 )
 
@@ -22,6 +25,15 @@ type StreamFaultProfile struct {
 	// separate writes (no loss — exercises reassembly across partial
 	// arrivals).
 	TearRate float64
+	// HeartbeatWarp, when nonzero, rewrites every outgoing heartbeat's
+	// timestamp to (sent time - HeartbeatWarp), clamped at zero — a
+	// device whose clock stepped backwards mid-session, or a
+	// time-rewinding man in the middle. The server's monotonicity
+	// contract (webserver.MaxHeartbeatSkew and the lastNow clamp) is
+	// what keeps this from dragging session time backwards; the device
+	// detects the tampering when the verbatim echo disagrees with what
+	// it believes it sent.
+	HeartbeatWarp time.Duration
 	// HandshakeGrace exempts the first n writes of each connection from
 	// faults. Chaos sweeps set it to 1 so the hello always goes out
 	// whole: the profile models an established link degrading, and a
@@ -35,6 +47,7 @@ type StreamFaultStats struct {
 	Conns int
 	Cuts  int
 	Tears int
+	Warps int
 }
 
 // FaultyDialer wraps a stream dial function so every connection it
@@ -78,11 +91,31 @@ type faultyStreamConn struct {
 
 func (c *faultyStreamConn) Read(p []byte) (int, error) { return c.rwc.Read(p) }
 
+// isHeartbeatFrame matches a write that is exactly one heartbeat frame:
+// the 5-byte header (type + length 16) plus the fixed 16-byte payload.
+// The stream transport writes heartbeats as single whole frames, so
+// this is the only shape they take on the wire.
+func isHeartbeatFrame(p []byte) bool {
+	return len(p) == 21 && p[0] == byte(protocol.FrameHeartbeat) &&
+		binary.BigEndian.Uint32(p[1:5]) == 16
+}
+
 func (c *faultyStreamConn) Close() error { return c.rwc.Close() }
 
 func (c *faultyStreamConn) Write(p []byte) (int, error) {
 	c.writes++
 	if c.writes > c.d.Profile.HandshakeGrace && len(p) > 0 {
+		if w := c.d.Profile.HeartbeatWarp; w > 0 && isHeartbeatFrame(p) {
+			c.d.Stats.Warps++
+			// Rewrite on a copy: the frame buffer belongs to the caller.
+			q := append([]byte(nil), p...)
+			now := time.Duration(binary.BigEndian.Uint64(q[13:21])) - w
+			if now < 0 {
+				now = 0
+			}
+			binary.BigEndian.PutUint64(q[13:21], uint64(now))
+			p = q
+		}
 		if r := c.d.Profile.CutRate; r > 0 && c.d.rng.Bool(r) {
 			c.d.Stats.Cuts++
 			k := c.d.rng.Intn(len(p)) // 0..len-1: never the whole frame

@@ -90,6 +90,7 @@ func (d *Device) Resync(now time.Duration) error {
 	if d.session == nil {
 		return errors.New("device: no session")
 	}
+	d.tel.resyncs.Add(1)
 	req, err := d.Client.BuildResync(d.session)
 	if err != nil {
 		return err
@@ -123,6 +124,7 @@ func (d *Device) LoginResilient(now time.Duration, cert *pki.Certificate, accoun
 		if !Retryable(err) || a == attempts {
 			break
 		}
+		d.tel.retries.Add(1)
 		now += d.Retry.backoff(a, d.retryRNG)
 	}
 	return now, fmt.Errorf("device: login failed after retries: %w", lastErr)
@@ -147,6 +149,7 @@ func (d *Device) LoginResumeResilient(now time.Duration, cert *pki.Certificate, 
 		if !Retryable(err) || a == attempts {
 			break
 		}
+		d.tel.retries.Add(1)
 		now += d.Retry.backoff(a, d.retryRNG)
 	}
 	return now, fmt.Errorf("device: login failed after retries: %w", lastErr)
@@ -193,6 +196,7 @@ func (d *Device) BrowseResilient(now time.Duration, action string) (time.Duratio
 			return now, err
 		}
 		if a < attempts {
+			d.tel.retries.Add(1)
 			now += d.Retry.backoff(a, d.retryRNG)
 		}
 	}
@@ -201,6 +205,7 @@ func (d *Device) BrowseResilient(now time.Duration, action string) (time.Duratio
 	if d.current != nil && d.Module.TouchAuthorized(now) {
 		d.display(d.current)
 		d.degraded = true
+		d.tel.degradedEnters.Add(1)
 		return now, nil
 	}
 	return now, fmt.Errorf("device: server unreachable and no local fallback: %w", lastErr)

@@ -443,3 +443,68 @@ func TestStreamConcurrentWritersRace(t *testing.T) {
 	_ = tr.Close()
 	wg.Wait()
 }
+
+// serverMetric reads one named counter from the server's telemetry
+// schema.
+func serverMetric(t *testing.T, srv *webserver.Server, name string) int64 {
+	t.Helper()
+	for i, n := range srv.MetricsSchema() {
+		if n == name {
+			return srv.AppendMetrics(nil)[i]
+		}
+	}
+	t.Fatalf("metric %q not in schema", name)
+	return 0
+}
+
+// TestStreamHeartbeatWarpDetectedAndRecovered drives a backwards
+// heartbeat through the fault profile: the wire rewrites the device's
+// heartbeat timestamp an hour into the past. The server must clamp —
+// count it, hold session time — and echo the warped value verbatim,
+// which is exactly what lets the device catch the tampering as an echo
+// mismatch, kill the connection, and recover on redial.
+func TestStreamHeartbeatWarpDetectedAndRecovered(t *testing.T) {
+	var fd *FaultyDialer
+	fx, tr := newStreamFixture(t, func(dial func() (io.ReadWriteCloser, error)) func() (io.ReadWriteCloser, error) {
+		fd = NewFaultyDialer(dial, StreamFaultProfile{}, sim.NewRNG(11))
+		return fd.Dial
+	})
+	fx.registerAndLogin(t)
+	// A browse stamps the connection's session time, arming the
+	// server's monotonicity clamp for anything earlier.
+	fx.touchOwner(t)
+	if err := fx.dev.Browse(fx.now, "home"); err != nil {
+		t.Fatal(err)
+	}
+
+	fd.Profile.HeartbeatWarp = time.Hour
+	err := tr.Ping(fx.now)
+	if err == nil {
+		t.Fatal("warped heartbeat echo went undetected")
+	}
+	if fd.Stats.Warps != 1 {
+		t.Fatalf("injected %d warps, want 1", fd.Stats.Warps)
+	}
+	if got := serverMetric(t, fx.server, "hb_clamped"); got != 1 {
+		t.Fatalf("hb_clamped = %d, want 1", got)
+	}
+	if got := serverMetric(t, fx.server, "hb_rejected"); got != 0 {
+		t.Fatalf("hb_rejected = %d, want 0", got)
+	}
+
+	// The poisoned connection is down; with the fault cleared the
+	// resilient path redials, resyncs onto the fresh nonce chain, and
+	// the session carries on.
+	fd.Profile.HeartbeatWarp = 0
+	fx.dev.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond}, sim.NewRNG(5))
+	fx.touchOwner(t)
+	if _, err := fx.dev.BrowseResilient(fx.now, "home"); err != nil {
+		t.Fatalf("browse after warp teardown: %v", err)
+	}
+	if fx.dev.Degraded() {
+		t.Fatal("device degraded instead of redialing")
+	}
+	if st := tr.Stats(); st.Redials == 0 || st.Downgrades != 0 {
+		t.Fatalf("stream stats %+v, want a redial and no downgrade", st)
+	}
+}

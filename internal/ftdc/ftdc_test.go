@@ -1,0 +1,254 @@
+package ftdc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleCapture(t *testing.T, rows int) (*Capture, [][]int64) {
+	t.Helper()
+	c := NewCapture(NewSchema([]string{"accepted", "rejected", "depth"}))
+	var want [][]int64
+	for i := 0; i < rows; i++ {
+		vals := []int64{int64(i * 3), int64(i % 5), int64(100 - i)}
+		c.Sample(int64(i)*int64(time.Second), vals)
+		want = append(want, vals)
+	}
+	return c, want
+}
+
+func TestRoundTrip(t *testing.T) {
+	// 100 rows crosses three keyframe boundaries (KeyframeRows=32), so
+	// both absolute and delta rows decode.
+	c, want := sampleCapture(t, 100)
+	d, err := Read(c.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 100 {
+		t.Fatalf("decoded %d rows, want 100", d.Rows())
+	}
+	if len(d.Names) != 3 || d.Names[0] != "accepted" || d.Names[2] != "depth" {
+		t.Fatalf("schema %v", d.Names)
+	}
+	for i := 0; i < 100; i++ {
+		if d.Times[i] != time.Duration(i)*time.Second {
+			t.Fatalf("row %d time %v", i, d.Times[i])
+		}
+		for col := 0; col < 3; col++ {
+			if d.Cols[col][i] != want[i][col] {
+				t.Fatalf("row %d col %d: got %d want %d", i, col, d.Cols[col][i], want[i][col])
+			}
+		}
+	}
+	if got := d.Last("depth"); got != 1 {
+		t.Fatalf("Last(depth) = %d, want 1", got)
+	}
+	if d.Col("nope") != nil {
+		t.Fatal("Col on unknown name should be nil")
+	}
+}
+
+func TestNegativeAndLargeValues(t *testing.T) {
+	c := NewCapture(NewSchema([]string{"v"}))
+	vals := []int64{-1, 1 << 62, -(1 << 62), 0, 7}
+	for i, v := range vals {
+		c.Sample(int64(i), []int64{v})
+	}
+	d, err := Read(c.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if d.Cols[0][i] != v {
+			t.Fatalf("row %d: got %d want %d", i, d.Cols[0][i], v)
+		}
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	a, _ := sampleCapture(t, 77)
+	b, _ := sampleCapture(t, 77)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical sample streams produced different capture bytes")
+	}
+}
+
+func TestConcatenatedCaptures(t *testing.T) {
+	a, _ := sampleCapture(t, 40)
+	b, _ := sampleCapture(t, 10)
+	d, err := Read(append(append([]byte{}, a.Bytes()...), b.Bytes()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 50 {
+		t.Fatalf("decoded %d rows, want 50", d.Rows())
+	}
+	// A segment with a different schema refuses to merge.
+	other := NewCapture(NewSchema([]string{"different"}))
+	other.Sample(0, []int64{1})
+	if _, err := Read(append(append([]byte{}, a.Bytes()...), other.Bytes()...)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("schema change mid-stream: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTornTailDiscarded(t *testing.T) {
+	c, _ := sampleCapture(t, 100)
+	whole := c.Bytes()
+	full, err := Read(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncating at every byte of the final chunk loses at most that
+	// chunk; earlier rows still decode.
+	for cut := len(whole) - 1; cut > len(whole)-20; cut-- {
+		d, err := Read(whole[:cut])
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if d.Rows() > full.Rows() || d.Rows() < full.Rows()-KeyframeRows {
+			t.Fatalf("cut at %d decoded %d rows (full %d)", cut, d.Rows(), full.Rows())
+		}
+	}
+}
+
+func TestMidFileCorruptionRefused(t *testing.T) {
+	c, _ := sampleCapture(t, 100) // several chunks
+	whole := append([]byte{}, c.Bytes()...)
+	// Flip a bit in the first data chunk's payload: a CRC mismatch with
+	// more chunks behind it is corruption, not a torn tail.
+	schemaLen := binary.BigEndian.Uint32(whole)
+	whole[8+int(schemaLen)+8] ^= 0x40
+	if _, err := Read(whole); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-file corruption: got %v, want ErrCorrupt", err)
+	}
+	if _, err := Read([]byte{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty capture: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCaptureReset(t *testing.T) {
+	c, _ := sampleCapture(t, 10)
+	first := append([]byte{}, c.Bytes()...)
+	c.Reset()
+	if c.Samples() != 0 {
+		t.Fatalf("samples after reset: %d", c.Samples())
+	}
+	for i := 0; i < 10; i++ {
+		c.Sample(int64(i)*int64(time.Second), []int64{int64(i * 3), int64(i % 5), int64(100 - i)})
+	}
+	if !bytes.Equal(first, c.Bytes()) {
+		t.Fatal("reset capture is not byte-identical to the original")
+	}
+}
+
+func TestZeroAllocSampling(t *testing.T) {
+	schema := make([]string, 74) // server-sized column set
+	for i := range schema {
+		schema[i] = "col" + strings.Repeat("x", i%7)
+	}
+	c := NewCapture(NewSchema(schema))
+	vals := make([]int64, len(schema))
+	var now int64
+	// Warm the buffers past their growth phase.
+	for i := 0; i < 4*KeyframeRows; i++ {
+		now += int64(time.Millisecond)
+		c.Sample(now, vals)
+	}
+	c.Bytes()
+	c.Reset()
+	i := int64(0)
+	allocs := testing.AllocsPerRun(2000, func() {
+		i++
+		now += int64(time.Millisecond)
+		for j := range vals {
+			vals[j] = i + int64(j)
+		}
+		c.Sample(now, vals)
+	})
+	if allocs != 0 {
+		t.Fatalf("Sample allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestDumpAndDiff(t *testing.T) {
+	a, _ := sampleCapture(t, 20)
+	da, err := Read(a.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	da.Dump(&buf)
+	out := buf.String()
+	for _, want := range []string{"20 samples", "accepted", "rejected", "depth"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+
+	b := NewCapture(NewSchema([]string{"accepted", "rejected", "extra"}))
+	b.Sample(0, []int64{90, 2, 5})
+	db, err := Read(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Diff(da, db)
+	byName := map[string]DiffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// accepted: a ends at 19*3=57, b at 90 → delta +33.
+	if r := byName["accepted"]; r.A != 57 || r.B != 90 || r.Delta != 33 || r.OnlyIn != "" {
+		t.Fatalf("accepted diff %+v", r)
+	}
+	if r := byName["depth"]; r.OnlyIn != "a" {
+		t.Fatalf("depth diff %+v", r)
+	}
+	if r := byName["extra"]; r.OnlyIn != "b" {
+		t.Fatalf("extra diff %+v", r)
+	}
+	buf.Reset()
+	WriteDiff(&buf, rows)
+	if !strings.Contains(buf.String(), "only in b") || !strings.Contains(buf.String(), "+33") {
+		t.Fatalf("diff table:\n%s", buf.String())
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty hist not zero")
+	}
+	// 90 fast observations, 10 slow: p50 lands in the fast bucket's
+	// edge, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count %d", got)
+	}
+	if p50 := h.Quantile(0.50); p50 != 4*time.Microsecond {
+		t.Fatalf("p50 = %v, want 4µs bucket edge", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 8192*time.Microsecond {
+		t.Fatalf("p99 = %v, want 8192µs bucket edge", p99)
+	}
+	// Negative and huge observations clamp, not panic.
+	h.Observe(-time.Second)
+	h.Observe(1 << 62)
+	vals := h.AppendSummary(nil)
+	if len(vals) != 3 || vals[0] != 102 {
+		t.Fatalf("summary %v", vals)
+	}
+	names := SummaryNames(nil, "login")
+	if len(names) != 3 || names[1] != "login_p50_ns" {
+		t.Fatalf("summary names %v", names)
+	}
+}

@@ -1,0 +1,264 @@
+package ftdc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"time"
+)
+
+// ErrCorrupt reports a chunk whose CRC or structure is wrong mid-file.
+// A truncated final chunk is NOT corruption — like the WAL's torn tail,
+// it is discarded silently, because a capture interrupted by a crash is
+// exactly the capture you most need to read.
+var ErrCorrupt = errors.New("ftdc: corrupt capture")
+
+// Data is a decoded capture: one time series per column, row-aligned.
+type Data struct {
+	Names []string
+	Times []time.Duration // virtual timestamps, one per row
+	Cols  [][]int64       // Cols[c][row]; len(Cols) == len(Names)
+}
+
+// Rows reports the number of decoded samples.
+func (d *Data) Rows() int { return len(d.Times) }
+
+// Col returns the series for a named column, or nil if absent.
+func (d *Data) Col(name string) []int64 {
+	for i, n := range d.Names {
+		if n == name {
+			return d.Cols[i]
+		}
+	}
+	return nil
+}
+
+// Last returns the final value of a named column (0 if the column is
+// absent or the capture is empty).
+func (d *Data) Last(name string) int64 {
+	c := d.Col(name)
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)-1]
+}
+
+// Read decodes a capture. Concatenated captures are accepted as long as
+// every schema chunk registers the same columns (the chaos sweep merges
+// per-trial captures this way); rows accumulate across segments in
+// input order. A truncated tail is discarded; anything else malformed
+// returns ErrCorrupt.
+func Read(data []byte) (*Data, error) {
+	d := &Data{}
+	ncols := -1
+	for len(data) > 0 {
+		if len(data) < chunkHeaderLen {
+			break // torn tail: partial header
+		}
+		n := binary.BigEndian.Uint32(data)
+		if n > maxChunkPayload {
+			return nil, fmt.Errorf("%w: chunk length %d exceeds limit", ErrCorrupt, n)
+		}
+		if len(data) < chunkHeaderLen+int(n) {
+			break // torn tail: partial payload
+		}
+		crc := binary.BigEndian.Uint32(data[4:])
+		payload := data[chunkHeaderLen : chunkHeaderLen+int(n)]
+		data = data[chunkHeaderLen+int(n):]
+		if crc32.ChecksumIEEE(payload) != crc {
+			if len(data) == 0 {
+				break // torn tail: final chunk half-written
+			}
+			return nil, fmt.Errorf("%w: chunk CRC mismatch mid-file", ErrCorrupt)
+		}
+		if len(payload) == 0 {
+			return nil, fmt.Errorf("%w: empty chunk", ErrCorrupt)
+		}
+		switch payload[0] {
+		case chunkSchema:
+			names, err := decodeSchema(payload[1:])
+			if err != nil {
+				return nil, err
+			}
+			if ncols < 0 {
+				ncols = len(names)
+				d.Names = names
+				d.Cols = make([][]int64, ncols)
+			} else if !equalNames(d.Names, names) {
+				return nil, fmt.Errorf("%w: concatenated capture changes schema", ErrCorrupt)
+			}
+		case chunkData:
+			if ncols < 0 {
+				return nil, fmt.Errorf("%w: data chunk before schema", ErrCorrupt)
+			}
+			if err := decodeRows(d, payload[1:]); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown chunk kind %#x", ErrCorrupt, payload[0])
+		}
+	}
+	if ncols < 0 {
+		return nil, fmt.Errorf("%w: no schema chunk", ErrCorrupt)
+	}
+	return d, nil
+}
+
+func decodeSchema(p []byte) ([]string, error) {
+	n, k := binary.Uvarint(p)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad schema count", ErrCorrupt)
+	}
+	p = p[k:]
+	names := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, k := binary.Uvarint(p)
+		if k <= 0 || uint64(len(p)-k) < l {
+			return nil, fmt.Errorf("%w: bad schema name", ErrCorrupt)
+		}
+		names = append(names, string(p[k:k+int(l)]))
+		p = p[k+int(l):]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes in schema chunk", ErrCorrupt)
+	}
+	return names, nil
+}
+
+func decodeRows(d *Data, p []byte) error {
+	nrows, k := binary.Uvarint(p)
+	if k <= 0 {
+		return fmt.Errorf("%w: bad row count", ErrCorrupt)
+	}
+	p = p[k:]
+	var prev []int64
+	row := make([]int64, 1+len(d.Cols))
+	for r := uint64(0); r < nrows; r++ {
+		for c := range row {
+			v, k := binary.Varint(p)
+			if k <= 0 {
+				return fmt.Errorf("%w: bad row varint", ErrCorrupt)
+			}
+			p = p[k:]
+			if r == 0 {
+				row[c] = v // keyframe: absolute
+			} else {
+				row[c] = prev[c] + v
+			}
+		}
+		if prev == nil {
+			prev = make([]int64, len(row))
+		}
+		copy(prev, row)
+		d.Times = append(d.Times, time.Duration(row[0]))
+		for c := range d.Cols {
+			d.Cols[c] = append(d.Cols[c], row[1+c])
+		}
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("%w: trailing bytes in data chunk", ErrCorrupt)
+	}
+	return nil
+}
+
+func equalNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dump pretty-prints a capture summary: per column first/last/min/max.
+// Columns print in schema order — the registry order, stable across
+// runs — so dumps diff cleanly in text tools too.
+func (d *Data) Dump(w io.Writer) {
+	fmt.Fprintf(w, "%d samples", d.Rows())
+	if d.Rows() > 0 {
+		fmt.Fprintf(w, " over %v..%v", d.Times[0], d.Times[len(d.Times)-1])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-28s %12s %12s %12s %12s\n", "metric", "first", "last", "min", "max")
+	for i, name := range d.Names {
+		col := d.Cols[i]
+		if len(col) == 0 {
+			fmt.Fprintf(w, "%-28s %12s %12s %12s %12s\n", name, "-", "-", "-", "-")
+			continue
+		}
+		lo, hi := col[0], col[0]
+		for _, v := range col {
+			lo, hi = min(lo, v), max(hi, v)
+		}
+		fmt.Fprintf(w, "%-28s %12d %12d %12d %12d\n", name, col[0], col[len(col)-1], lo, hi)
+	}
+}
+
+// DiffRow is one metric's comparison between two captures.
+type DiffRow struct {
+	Name   string
+	A, B   int64  // final values in each capture
+	Delta  int64  // B - A
+	OnlyIn string // "a" or "b" when the metric is missing from the other
+}
+
+// Diff compares the final values of two captures metric by metric —
+// the regression-hunting primitive behind benchtab's -ftdc-diff mode.
+// Metrics present in both captures are listed in a's schema order;
+// metrics unique to either side follow, sorted by name.
+func Diff(a, b *Data) []DiffRow {
+	inB := make(map[string]bool, len(b.Names))
+	for _, n := range b.Names {
+		inB[n] = true
+	}
+	inA := make(map[string]bool, len(a.Names))
+	for _, n := range a.Names {
+		inA[n] = true
+	}
+	var rows []DiffRow
+	for _, n := range a.Names {
+		if inB[n] {
+			av, bv := a.Last(n), b.Last(n)
+			rows = append(rows, DiffRow{Name: n, A: av, B: bv, Delta: bv - av})
+		}
+	}
+	var only []DiffRow
+	for _, n := range a.Names {
+		if !inB[n] {
+			only = append(only, DiffRow{Name: n, A: a.Last(n), OnlyIn: "a"})
+		}
+	}
+	for _, n := range b.Names {
+		if !inA[n] {
+			only = append(only, DiffRow{Name: n, B: b.Last(n), OnlyIn: "b"})
+		}
+	}
+	sort.Slice(only, func(i, j int) bool { return only[i].Name < only[j].Name })
+	return append(rows, only...)
+}
+
+// WriteDiff formats Diff's rows as a table, flagging changed metrics
+// with a trailing marker so regressions stand out in a terminal scan.
+func WriteDiff(w io.Writer, rows []DiffRow) {
+	fmt.Fprintf(w, "%-28s %12s %12s %12s\n", "metric", "a", "b", "delta")
+	for _, r := range rows {
+		switch r.OnlyIn {
+		case "a":
+			fmt.Fprintf(w, "%-28s %12d %12s %12s  only in a\n", r.Name, r.A, "-", "-")
+		case "b":
+			fmt.Fprintf(w, "%-28s %12s %12d %12s  only in b\n", r.Name, "-", r.B, "-")
+		default:
+			mark := ""
+			if r.Delta != 0 {
+				mark = "  *"
+			}
+			fmt.Fprintf(w, "%-28s %12d %12d %+12d%s\n", r.Name, r.A, r.B, r.Delta, mark)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"trust/internal/device"
 	"trust/internal/fingerprint"
 	"trust/internal/flock"
+	"trust/internal/ftdc"
 	"trust/internal/geom"
 	"trust/internal/pki"
 	"trust/internal/placement"
@@ -23,6 +24,22 @@ import (
 // grid fans out through the sweep engine and the artifact is
 // byte-identical at any worker count.
 func XChaos(seed uint64) (Result, error) {
+	res, _, err := xChaos(seed, false)
+	return res, err
+}
+
+// XChaosCapture runs the chaos sweep with per-trial FTDC telemetry
+// capture: each trial samples the full server+device metric row after
+// every browsing round, on its own virtual clock. The per-trial
+// captures share one schema, so concatenating them in cell/trial index
+// order yields a single valid capture — and because each trial is
+// single-goroutine and independently seeded, the concatenation is
+// byte-identical across runs and worker counts.
+func XChaosCapture(seed uint64) (Result, []byte, error) {
+	return xChaos(seed, true)
+}
+
+func xChaos(seed uint64, capture bool) (Result, []byte, error) {
 	drops := []float64{0, 0.15, 0.3, 0.45}
 	budgets := []int{1, 2, 4, 8}
 	const (
@@ -30,7 +47,10 @@ func XChaos(seed uint64) (Result, error) {
 		rounds = 10
 	)
 
-	type cell struct{ drop float64; budget int }
+	type cell struct {
+		drop   float64
+		budget int
+	}
 	var cells []cell
 	for _, d := range drops {
 		for _, b := range budgets {
@@ -41,10 +61,10 @@ func XChaos(seed uint64) (Result, error) {
 	outs, err := sim.ParMap(len(cells)*trials, func(idx int) (chaosTrialOut, error) {
 		c, trial := cells[idx/trials], idx%trials
 		trialSeed := seed + uint64(idx*131+trial)
-		return chaosTrial(trialSeed, c.drop, c.budget, rounds)
+		return chaosTrial(trialSeed, c.drop, c.budget, rounds, capture)
 	})
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 
 	var rows [][]string
@@ -79,12 +99,18 @@ func XChaos(seed uint64) (Result, error) {
 		metrics[fmt.Sprintf("acked_drop%.0f_budget%d", c.drop*100, c.budget)] = ackedFrac
 	}
 	text := fmtTable([]string{"drop rate", "retry budget", "server-acked", "degraded rounds", "retries/round", "mean recovery"}, rows)
+	var capt []byte
+	if capture {
+		for _, o := range outs {
+			capt = append(capt, o.capture...)
+		}
+	}
 	return Result{
 		ID:      "x-chaos",
 		Title:   "Lossy-network chaos sweep: session survival vs retry budget (X14)",
 		Text:    text,
 		Metrics: metrics,
-	}, nil
+	}, capt, nil
 }
 
 // chaosTrialOut is one trial's tallies.
@@ -94,12 +120,13 @@ type chaosTrialOut struct {
 	recovery        time.Duration // backoff spent on recovered rounds
 	recovered       int           // rounds that needed >1 delivery yet acked
 	failed          bool          // a round died terminally
+	capture         []byte        // per-trial FTDC bytes (capture runs only)
 }
 
 // chaosTrial builds one device+server pair, establishes a session over
 // a clean link, then runs the continuous-auth rounds over a link with
 // the given drop rate and retry budget.
-func chaosTrial(trialSeed uint64, drop float64, budget, rounds int) (out chaosTrialOut, err error) {
+func chaosTrial(trialSeed uint64, drop float64, budget, rounds int, capture bool) (out chaosTrialOut, err error) {
 	ca, err := pki.NewCA("trust-root", pki.NewDeterministicRand(trialSeed^0xc4a0))
 	if err != nil {
 		return out, err
@@ -157,6 +184,24 @@ func chaosTrial(trialSeed uint64, drop float64, budget, rounds int) (out chaosTr
 		return out, err
 	}
 
+	// Telemetry capture: one sample of the combined server+device row
+	// per browsing round, on the trial's own virtual clock. The schema
+	// is identical across trials, which is what lets the sweep
+	// concatenate per-trial captures into one artifact.
+	var capt *ftdc.Capture
+	var vals []int64
+	if capture {
+		capt = ftdc.NewCapture(ftdc.NewSchema(append(srv.MetricsSchema(), dev.MetricsSchema()...)))
+	}
+	sample := func(at time.Duration) {
+		if capt == nil {
+			return
+		}
+		vals = srv.AppendMetrics(vals[:0])
+		vals = dev.AppendMetrics(vals)
+		capt.Sample(int64(at), vals)
+	}
+
 	ft.Profile = device.FaultProfile{DropRate: drop}
 	for r := 0; r < rounds; r++ {
 		if err := verify(); err != nil {
@@ -181,6 +226,10 @@ func chaosTrial(trialSeed uint64, drop float64, budget, rounds int) (out chaosTr
 			}
 		}
 		now = after
+		sample(now)
+	}
+	if capt != nil {
+		out.capture = append([]byte(nil), capt.Bytes()...)
 	}
 	return out, nil
 }

@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"bytes"
 	"runtime"
 	"testing"
 
+	"trust/internal/ftdc"
 	"trust/internal/sim"
 )
 
@@ -62,5 +64,52 @@ func TestSweptExperimentsWorkerCountInvariant(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestXChaosCaptureByteIdentical is the determinism contract extended
+// to the telemetry capture: the concatenated FTDC artifact must be
+// byte-identical across repeated runs and across worker counts, and
+// must parse back into one well-formed metric table.
+func TestXChaosCaptureByteIdentical(t *testing.T) {
+	workers := max(runtime.GOMAXPROCS(0), 8)
+	prev := sim.SetMaxWorkers(1)
+	defer sim.SetMaxWorkers(prev)
+
+	_, serial, err := XChaosCapture(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, again, err := XChaosCapture(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, again) {
+		t.Fatal("capture differs between two serial runs of the same seed")
+	}
+
+	sim.SetMaxWorkers(workers)
+	_, parallel, err := XChaosCapture(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("capture differs between 1 and %d workers (%d vs %d bytes)", workers, len(serial), len(parallel))
+	}
+
+	data, err := ftdc.Read(serial)
+	if err != nil {
+		t.Fatalf("capture does not parse: %v", err)
+	}
+	// 16 cells x 3 trials x 10 rounds, one sample per round — minus
+	// rounds lost to terminally failed trials, so a lower bound holds.
+	if data.Rows() < 16*3 {
+		t.Fatalf("capture holds %d rows, expected at least one surviving round per trial", data.Rows())
+	}
+	if data.Names[0] != "accepted" {
+		t.Fatalf("schema starts with %q, want the server metric block", data.Names[0])
+	}
+	if last := data.Names[len(data.Names)-1]; last != "dev_stream_downgrades" {
+		t.Fatalf("schema ends with %q, want the device metric block", last)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"trust/internal/device"
 	"trust/internal/fingerprint"
 	"trust/internal/flock"
+	"trust/internal/ftdc"
 	"trust/internal/geom"
 	"trust/internal/pki"
 	"trust/internal/placement"
@@ -148,6 +149,13 @@ type Config struct {
 	// Backend selects the account store (MemoryBackend default); the
 	// WAL backend prices durable enrollment on the measured path.
 	Backend Backend
+	// FTDCEvery, when > 0, samples the server's full telemetry row into
+	// an FTDC capture every FTDCEvery measured ops (Result.Capture).
+	// The sample axis is the shared op counter, so a capture is
+	// comparable across transports; unlike the chaos sweep's captures
+	// it is best-effort, not byte-stable — concurrent workers race the
+	// counters between sample points.
+	FTDCEvery int
 }
 
 // Name is the scenario's identifier in reports.
@@ -180,6 +188,10 @@ type Result struct {
 	P99Ns       int64   `json:"p99_ns"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Capture holds the scenario's FTDC telemetry bytes when
+	// Config.FTDCEvery was set (excluded from JSON reports; trustload
+	// writes it to its own file).
+	Capture []byte `json:"-"`
 }
 
 // loadDevice is one simulated device with its frozen virtual clock.
@@ -448,12 +460,18 @@ func Run(cfg Config) (Result, error) {
 		opErr  atomic.Value // error
 		failed atomic.Bool
 		lats   [][]time.Duration
+		capt   *ftdc.Capture
+		capMu  sync.Mutex
+		capRow []int64
 	)
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		// Keep only the final invocation's samples: testing.Benchmark
 		// re-runs with growing b.N until the run is long enough.
 		lats = make([][]time.Duration, cfg.Devices)
+		if cfg.FTDCEvery > 0 {
+			capt = ftdc.NewCapture(ftdc.NewSchema(fl.server.MetricsSchema()))
+		}
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		b.ResetTimer()
@@ -473,6 +491,12 @@ func Run(cfg Config) (Result, error) {
 						return
 					}
 					lats[w] = append(lats[w], b.Elapsed()-t0)
+					if capt != nil && n%int64(cfg.FTDCEvery) == 0 {
+						capMu.Lock()
+						capRow = fl.server.AppendMetrics(capRow[:0])
+						capt.Sample(n, capRow)
+						capMu.Unlock()
+					}
 					// Yield between sampled ops. Direct-mode ops never block,
 					// so on a runner with fewer cores than devices a worker
 					// otherwise runs until the ~10ms async-preemption quantum
@@ -515,6 +539,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	if s := res.T.Seconds(); s > 0 {
 		out.OpsPerSec = float64(res.N) / s
+	}
+	if capt != nil {
+		out.Capture = append([]byte(nil), capt.Bytes()...)
 	}
 	if cfg.Batch > 1 {
 		// Batch rows report per page-request figures: one measured op

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"trust/internal/device"
+	"trust/internal/ftdc"
 )
 
 func TestRunDirectPageRequest(t *testing.T) {
@@ -92,5 +93,39 @@ func TestNewReportCarriesParallelismMetadata(t *testing.T) {
 	rep := NewReport([]Result{{Name: "x"}})
 	if rep.GoMaxProcs < 1 || rep.NumCPU < 1 || len(rep.Scenarios) != 1 {
 		t.Fatalf("report metadata: %+v", rep)
+	}
+}
+
+// TestRunFTDCCapture: with FTDCEvery set, Run returns a parsable FTDC
+// capture whose accepted counter accounts for every measured op.
+func TestRunFTDCCapture(t *testing.T) {
+	res, err := Run(Config{Devices: 2, Transport: Direct, Mode: PageRequest, Seed: 1, FTDCEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Capture) == 0 {
+		t.Fatal("no capture bytes")
+	}
+	data, err := ftdc.Read(res.Capture)
+	if err != nil {
+		t.Fatalf("capture does not parse: %v", err)
+	}
+	if data.Rows() == 0 {
+		t.Fatal("capture holds no samples")
+	}
+	accepted := data.Col("accepted")
+	if accepted == nil {
+		t.Fatal("capture schema lacks the accepted column")
+	}
+	// Monotone counter sampled mid-run: the last sample can trail the
+	// final op count but never exceed total accepted work, and it must
+	// be nondecreasing.
+	for i := 1; i < len(accepted); i++ {
+		if accepted[i] < accepted[i-1] {
+			t.Fatalf("accepted counter went backwards at row %d: %d -> %d", i, accepted[i-1], accepted[i])
+		}
+	}
+	if last := accepted[len(accepted)-1]; last <= 0 {
+		t.Fatalf("accepted never advanced: %d", last)
 	}
 }

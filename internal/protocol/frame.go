@@ -45,6 +45,32 @@ const (
 	FrameResume
 )
 
+// SeqBearing reports whether t's payload leads with an 8-byte
+// big-endian sequence number (touch-batch, page, heartbeat, ack,
+// resync, resume). Hello/welcome/policy-push carry binary-codec
+// messages instead, and bye has no payload.
+func (t FrameType) SeqBearing() bool {
+	switch t {
+	case FrameTouchBatch, FramePage, FrameHeartbeat, FrameAck, FrameResync, FrameResume:
+		return true
+	}
+	return false
+}
+
+// FrameSeq peeks the leading sequence number of a seq-bearing frame's
+// payload without decoding the rest — the error path's best-effort
+// correlation: when a frame fails to decode fully, its seq usually
+// still parsed, and the rejection ack should echo it so the client can
+// match the ack to the request it answers. Non-seq-bearing types and
+// payloads too short to carry a sequence report 0, the wire's
+// "no sequence" value.
+func FrameSeq(t FrameType, payload []byte) uint64 {
+	if !t.SeqBearing() || len(payload) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(payload)
+}
+
 func (t FrameType) String() string {
 	switch t {
 	case FrameHello:

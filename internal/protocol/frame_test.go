@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"net"
@@ -288,5 +289,38 @@ func TestEncodeBinaryAppend(t *testing.T) {
 	}
 	if !bytes.HasPrefix(got, prefix) || !bytes.Equal(got[len(prefix):], direct) {
 		t.Fatal("EncodeBinaryAppend does not append the EncodeBinary bytes")
+	}
+}
+
+// TestFrameSeq pins the sequence peek every malformed-frame ack path
+// relies on: seq-bearing frame types yield the leading 8 bytes, and
+// everything else — wrong type or short payload — yields zero rather
+// than garbage.
+func TestFrameSeq(t *testing.T) {
+	payload := binary.BigEndian.AppendUint64(nil, 0xCAFEBABE)
+	payload = append(payload, 1, 2, 3)
+	seqBearing := map[FrameType]bool{
+		FrameTouchBatch: true, FramePage: true, FrameHeartbeat: true,
+		FrameAck: true, FrameResync: true, FrameResume: true,
+		FrameHello: false, FrameWelcome: false, FramePolicyPush: false,
+		FrameBye: false,
+	}
+	for ft, want := range seqBearing {
+		if got := ft.SeqBearing(); got != want {
+			t.Errorf("%s.SeqBearing() = %v, want %v", ft, got, want)
+		}
+		wantSeq := uint64(0)
+		if want {
+			wantSeq = 0xCAFEBABE
+		}
+		if got := FrameSeq(ft, payload); got != wantSeq {
+			t.Errorf("FrameSeq(%s) = %#x, want %#x", ft, got, wantSeq)
+		}
+	}
+	if got := FrameSeq(FrameHeartbeat, payload[:7]); got != 0 {
+		t.Errorf("FrameSeq on 7-byte payload = %#x, want 0", got)
+	}
+	if got := FrameSeq(FrameHeartbeat, nil); got != 0 {
+		t.Errorf("FrameSeq on nil payload = %#x, want 0", got)
 	}
 }

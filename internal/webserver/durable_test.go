@@ -2,8 +2,10 @@ package webserver
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -276,4 +278,73 @@ func failingBackendErr() error {
 	}
 	defer w.Close()
 	return w.Append(store.Record{Kind: store.KindEnroll, Account: "x", PublicKey: []byte{1}, At: time.Second})
+}
+
+// TestDegradedLatchConcurrent races many enrollments across the
+// backend's failure boundary: the write budget admits the first few
+// record appends, then tears. However the goroutines interleave,
+// exactly budget enrollments are acknowledged, every other racer gets
+// ErrStorage, the degraded latch trips exactly once, and the telemetry
+// storage-error counter matches the rejections one for one.
+func TestDegradedLatchConcurrent(t *testing.T) {
+	const racers = 32
+	const budget = 4
+	inner := store.NewMemFS()
+	ffs := store.NewFaultFS(inner, budget, -1)
+	r := newDurableRig(t, ffs)
+
+	// Build every submission up front (the client walk is sequential
+	// state); only the server-side handling races.
+	subs := make([]*protocol.RegistrationSubmit, racers)
+	for i := range subs {
+		subs[i] = buildRegistration(t, r, fmt.Sprintf("acct-%02d", i))
+	}
+
+	var wg sync.WaitGroup
+	var okCount, storageCount, otherCount atomic.Int64
+	for _, sub := range subs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := r.server.HandleRegistration(r.now, sub, "pw")
+			switch {
+			case res.OK:
+				okCount.Add(1)
+			case res.Reason == ErrStorage.Error():
+				storageCount.Add(1)
+			default:
+				otherCount.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := otherCount.Load(); n != 0 {
+		t.Fatalf("%d racers failed with a non-storage reason", n)
+	}
+	if n := okCount.Load(); n != budget {
+		t.Fatalf("%d enrollments acknowledged, want exactly the write budget %d", n, budget)
+	}
+	if n := storageCount.Load(); n != racers-budget {
+		t.Fatalf("%d storage rejections, want %d", n, racers-budget)
+	}
+	if !r.server.Degraded() {
+		t.Fatal("server not degraded after the boundary")
+	}
+	if got := metricValue(t, r.server, "degraded_trips"); got != 1 {
+		t.Fatalf("degraded_trips = %d, want exactly 1", got)
+	}
+	if got := metricValue(t, r.server, "storage_errors"); got != storageCount.Load() {
+		t.Fatalf("storage_errors = %d, want %d (one per 503)", got, storageCount.Load())
+	}
+	// Acknowledged enrollments are real: recovery over the underlying
+	// fs sees exactly the acknowledged accounts.
+	wal, err := store.OpenWAL(inner, store.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	if got := wal.Stats().Live; int64(got) != okCount.Load() {
+		t.Fatalf("recovered %d accounts, want %d", got, okCount.Load())
+	}
 }

@@ -41,6 +41,7 @@ func (s *Server) HandleRegistration(now time.Duration, sub *protocol.Registratio
 	if s.degraded.Load() {
 		// A previous backend write failed; refuse new enrollments
 		// outright rather than acknowledge what cannot be made durable.
+		s.failStorage()
 		return fail(ErrStorage.Error())
 	}
 	if sub.Domain != s.domain {
@@ -52,7 +53,8 @@ func (s *Server) HandleRegistration(now time.Duration, sub *protocol.Registratio
 	if !ed25519.Verify(sub.DeviceCert.Key(), sub.SigningBytes(), sub.Signature) {
 		return fail("submission signature invalid")
 	}
-	if !s.nonces.consume(sub.Nonce, now) {
+	nonceAge, ok := s.nonces.consumeAge(sub.Nonce, now)
+	if !ok {
 		return fail("nonce unknown or replayed")
 	}
 	if len(sub.UserPub) != ed25519.PublicKeySize {
@@ -87,7 +89,8 @@ func (s *Server) HandleRegistration(now time.Duration, sub *protocol.Registratio
 		RecoveryDigest: acct.RecoveryDigest,
 	}); err != nil {
 		s.accounts.abortClaim(acct.ID)
-		s.degraded.Store(true)
+		s.tripDegraded()
+		s.failStorage()
 		return fail(ErrStorage.Error())
 	}
 	s.accounts.commitClaim(acct)
@@ -98,6 +101,7 @@ func (s *Server) HandleRegistration(now time.Duration, sub *protocol.Registratio
 		At:      now,
 	})
 	s.accepted.Add(1)
+	s.tel.enroll.Observe(nonceAge)
 	return protocol.RegistrationResult{OK: true}
 }
 
@@ -136,7 +140,8 @@ func (s *Server) HandleLogin(now time.Duration, sub *protocol.LoginSubmit) (*pro
 		s.rejected.Add(1)
 		return nil, ErrBadSignature
 	}
-	if !s.nonces.consume(sub.Nonce, now) {
+	nonceAge, ok := s.nonces.consumeAge(sub.Nonce, now)
+	if !ok {
 		s.rejected.Add(1)
 		return nil, ErrBadNonce
 	}
@@ -168,6 +173,8 @@ func (s *Server) HandleLogin(now time.Duration, sub *protocol.LoginSubmit) (*pro
 	s.accounts.clearFailures(sub.Account)
 	s.audit.Append(frame.AuditEntry{Account: sub.Account, PageURL: s.loginURL, Hash: sub.FrameHash, At: now})
 	s.accepted.Add(1)
+	s.tel.fullLogins.Add(1)
+	s.tel.login.Observe(nonceAge)
 	return cp, nil
 }
 
@@ -253,12 +260,18 @@ func (s *Server) verifyResume(now time.Duration, sub *protocol.ResumeSubmit) (*t
 		s.rejected.Add(1)
 		return nil, nil, fmt.Errorf("%w: %d of %d verified", ErrRiskPolicy, sub.RiskVerified, sub.RiskWindow)
 	}
-	if !s.nonces.consume(st.nonce, now) {
+	nonceAge, ok := s.nonces.consumeAge(st.nonce, now)
+	if !ok {
 		// Replayed (or evicted past the nonce TTL — same answer):
 		// single use is spent.
 		s.rejected.Add(1)
 		return nil, nil, ErrBadTicket
 	}
+	// Both resume fronts (HandleResume and the stream's resume frame)
+	// establish a session right after this point, so the success
+	// telemetry lives here once.
+	s.tel.resumeLogins.Add(1)
+	s.tel.resume.Observe(nonceAge)
 	return st, acct, nil
 }
 
@@ -307,6 +320,10 @@ func (s *Server) handlePageRequest(now time.Duration, req *protocol.PageRequest,
 		return nil, fmt.Errorf("%w: %d of %d verified", ErrRiskPolicy, req.RiskVerified, req.RiskWindow)
 	}
 	sess.requests++
+	if sess.seen {
+		s.tel.page.Observe(now - sess.lastSeen)
+	}
+	sess.lastSeen, sess.seen = now, true
 	// The request's frame hash attests the page the user was viewing
 	// when touching — the page this session was last served.
 	s.audit.Append(frame.AuditEntry{Account: req.Account, PageURL: sess.lastPage, Hash: req.FrameHash, At: now})
@@ -346,6 +363,10 @@ func (s *Server) handleResync(now time.Duration, req *protocol.ResyncRequest, ne
 		s.rejected.Add(1)
 		return nil, ErrBadMAC
 	}
+	if sess.seen {
+		s.tel.resync.Observe(now - sess.lastSeen)
+	}
+	sess.lastSeen, sess.seen = now, true
 	s.accepted.Add(1)
 	return s.contentPageNonce(sess, s.page(sess.lastPage), nextNonce()), nil
 }
@@ -444,7 +465,8 @@ func (s *Server) ResetIdentity(now time.Duration, account, recoveryPassword stri
 		return ErrBadRecovery
 	}
 	if err := s.backend.Append(store.Record{Kind: store.KindReset, At: now, Account: account, Gen: acct.Gen}); err != nil {
-		s.degraded.Store(true)
+		s.tripDegraded()
+		s.failStorage()
 		return fmt.Errorf("webserver: reset %s: %w", account, err)
 	}
 	s.accounts.remove(account)
@@ -463,7 +485,8 @@ func (s *Server) RevokeAccount(now time.Duration, account string) error {
 		return ErrUnknownAccount
 	}
 	if err := s.backend.Append(store.Record{Kind: store.KindRevoke, At: now, Account: account, Gen: acct.Gen}); err != nil {
-		s.degraded.Store(true)
+		s.tripDegraded()
+		s.failStorage()
 		return fmt.Errorf("webserver: revoke %s: %w", account, err)
 	}
 	s.accounts.revoke(account)

@@ -234,7 +234,14 @@ func (s *Server) Handler() http.Handler {
 			"tampered": report.Tampered,
 		})
 	})
-	return mux
+	mux.HandleFunc("GET /trust/ftdc", s.handleFTDC)
+	// Telemetry capture rides after each request so a sample reflects
+	// the request's effect; with capture disabled the hook is one
+	// atomic load (metrics.go).
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mux.ServeHTTP(w, r)
+		s.observeFTDC(requestNow(r))
+	})
 }
 
 // FetchCertificate retrieves a server certificate over HTTP (client

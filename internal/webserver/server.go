@@ -98,6 +98,11 @@ type session struct {
 	lastPage string
 	requests int
 	revoked  bool
+	// lastSeen is the virtual time of the last accepted page/resync
+	// interaction on this session (valid once seen is set); telemetry
+	// derives the continuous-auth inter-request gap from it.
+	lastSeen time.Duration
+	seen     bool
 }
 
 // macState returns the session's reusable HMAC instance, building it
@@ -169,6 +174,12 @@ type Server struct {
 	// bumps one, concurrently under net/http).
 	rejected atomic.Int64
 	accepted atomic.Int64
+
+	// tel is the rest of the always-on telemetry block (metrics.go);
+	// ftdc, when set by EnableFTDC, is the server's request-driven
+	// self-capture.
+	tel  telemetry
+	ftdc atomic.Pointer[ftdcState]
 }
 
 // New creates a server for domain with a certificate from ca, backed

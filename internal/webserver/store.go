@@ -85,6 +85,19 @@ func (st *sessionStore) len() int {
 	return n
 }
 
+// appendShardLens appends each shard's live-session count — the
+// telemetry capture's per-shard depth columns (metrics.go).
+func (st *sessionStore) appendShardLens(out []int64) []int64 {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n := len(sh.m)
+		sh.mu.RUnlock()
+		out = append(out, int64(n))
+	}
+	return out
+}
+
 // forEach visits every live session. The visit callback runs with the
 // shard read-locked, so it must not call back into the store; locking
 // the visited session inside the callback is part of the documented
@@ -280,6 +293,19 @@ func (st *accountStore) len() int {
 	return n
 }
 
+// appendShardLens appends each shard's bound-account count for the
+// telemetry capture.
+func (st *accountStore) appendShardLens(out []int64) []int64 {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n := len(sh.accounts)
+		sh.mu.RUnlock()
+		out = append(out, int64(n))
+	}
+	return out
+}
+
 // Nonce lifetime bounds. Issued-but-abandoned nonces used to
 // accumulate forever (every served login/registration page minted one;
 // only completed flows consumed it). The store now expires nonces
@@ -300,7 +326,11 @@ const (
 type nonceStore struct {
 	ttl      time.Duration
 	perShard int
-	shards   [numShards]nonceShard
+	// evictions counts nonces dropped by TTL expiry or capacity
+	// pressure (not consumed, not lazily skipped stale queue entries) —
+	// a rising rate means served pages are outpacing completed flows.
+	evictions atomic.Int64
+	shards    [numShards]nonceShard
 }
 
 type nonceEntry struct {
@@ -334,7 +364,7 @@ func newNonceStore(ttl time.Duration, capacity int) *nonceStore {
 func (st *nonceStore) issue(n protocol.Nonce, now time.Duration) {
 	sh := &st.shards[shardIndex(string(n))]
 	sh.mu.Lock()
-	sh.evict(now, st.ttl, st.perShard-1)
+	sh.evict(now, st.ttl, st.perShard-1, &st.evictions)
 	sh.m[n] = now
 	sh.q = append(sh.q, nonceEntry{n: n, at: now})
 	sh.mu.Unlock()
@@ -343,15 +373,23 @@ func (st *nonceStore) issue(n protocol.Nonce, now time.Duration) {
 // consume validates and burns a nonce; replayed, unknown, or expired
 // nonces fail.
 func (st *nonceStore) consume(n protocol.Nonce, now time.Duration) bool {
+	_, ok := st.consumeAge(n, now)
+	return ok
+}
+
+// consumeAge is consume, additionally reporting the nonce's age (issue
+// to consume, virtual time) on success — the handlers' flow-latency
+// sample for the telemetry capture.
+func (st *nonceStore) consumeAge(n protocol.Nonce, now time.Duration) (time.Duration, bool) {
 	sh := &st.shards[shardIndex(string(n))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	at, ok := sh.m[n]
 	if !ok || now-at > st.ttl {
-		return false
+		return 0, false
 	}
 	delete(sh.m, n)
-	return true
+	return now - at, true
 }
 
 func (st *nonceStore) len() int {
@@ -365,10 +403,24 @@ func (st *nonceStore) len() int {
 	return n
 }
 
+// appendShardLens appends each shard's live-nonce count for the
+// telemetry capture.
+func (st *nonceStore) appendShardLens(out []int64) []int64 {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n := len(sh.m)
+		sh.mu.Unlock()
+		out = append(out, int64(n))
+	}
+	return out
+}
+
 // evict drops queue-front entries that are stale (already consumed),
 // expired, or over the live capacity, then compacts the queue once the
-// dead prefix dominates. Called with the shard locked.
-func (sh *nonceShard) evict(now, ttl time.Duration, maxLive int) {
+// dead prefix dominates. Called with the shard locked. Real evictions
+// (a live nonce dropped unconsumed) count into evicted.
+func (sh *nonceShard) evict(now, ttl time.Duration, maxLive int, evicted *atomic.Int64) {
 	for sh.head < len(sh.q) {
 		e := sh.q[sh.head]
 		at, live := sh.m[e.n]
@@ -377,6 +429,7 @@ func (sh *nonceShard) evict(now, ttl time.Duration, maxLive int) {
 				break
 			}
 			delete(sh.m, e.n)
+			evicted.Add(1)
 		}
 		sh.head++
 	}

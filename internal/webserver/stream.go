@@ -32,6 +32,17 @@ import (
 // entropy lock is the one piece of global state the per-request path
 // still shared).
 
+// MaxHeartbeatSkew bounds how far past the connection's observed
+// session time a heartbeat may jump it forward. Forward time is the
+// client's prerogative on every transport (HTTP requests carry their
+// own "now" too), but a jump of this size would expire every live
+// nonce and ticket epoch at once, which no legitimate virtual clock
+// does — the connection dies with a typed malformed ack instead. The
+// bound applies only once the connection has observed a timestamp:
+// the first time signal on a fresh hello-bound stream is accepted
+// as-is, whatever the device's clock says.
+const MaxHeartbeatSkew = 24 * time.Hour
+
 // streamConn is one live device stream. The read loop owns rwc reads,
 // seq, and lastNow; writes are serialized by wmu because policy pushes
 // arrive from other goroutines.
@@ -137,7 +148,7 @@ func (s *Server) ServeStream(rwc io.ReadWriteCloser) error {
 	case protocol.FrameResume:
 		seq, rnow, sub, err := protocol.DecodeResumeFrame(payload)
 		if err != nil {
-			_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(0, "malformed", err.Error()))
+			_ = protocol.WriteFrame(rwc, protocol.FrameAck, protocol.EncodeAck(protocol.FrameSeq(ft, payload), "malformed", err.Error()))
 			return err
 		}
 		conn, welcome, cp, herr := s.acceptStreamResume(rwc, rnow, sub)
@@ -193,17 +204,23 @@ func (s *Server) ServeStream(rwc io.ReadWriteCloser) error {
 		case protocol.FrameTouchBatch:
 			tb, err := protocol.DecodeTouchBatch(payload)
 			if err != nil {
-				_ = sc.writeAck(0, "malformed", err.Error())
+				_ = sc.writeAck(protocol.FrameSeq(ft, payload), "malformed", err.Error())
 				return err
 			}
-			sc.lastNow = tb.Now
+			// Session time only moves forward: a batch stamped earlier
+			// than what this connection already saw is applied at its own
+			// timestamp (exactly like the HTTP path), but it cannot drag
+			// lastNow — and with it resync and expiry decisions — back.
+			if tb.Now > sc.lastNow {
+				sc.lastNow = tb.Now
+			}
 			if err := sc.handleBatch(tb); err != nil {
 				return err
 			}
 		case protocol.FrameResync:
 			seq, rr, err := protocol.DecodeResyncFrame(payload)
 			if err != nil {
-				_ = sc.writeAck(0, "malformed", err.Error())
+				_ = sc.writeAck(protocol.FrameSeq(ft, payload), "malformed", err.Error())
 				return err
 			}
 			cp, herr := s.handleResync(sc.lastNow, rr, sc.nextNonce)
@@ -223,17 +240,35 @@ func (s *Server) ServeStream(rwc io.ReadWriteCloser) error {
 		case protocol.FrameHeartbeat:
 			seq, now, err := protocol.DecodeHeartbeat(payload)
 			if err != nil {
-				_ = sc.writeAck(0, "malformed", err.Error())
+				_ = sc.writeAck(protocol.FrameSeq(ft, payload), "malformed", err.Error())
 				return err
 			}
-			sc.lastNow = now
+			// Heartbeat time advances the session clock under a
+			// monotonicity contract (docs/protocol.md): backwards values
+			// are clamped — a faulted or malicious client must not move
+			// session time back past nonce/ticket expiry decisions — and
+			// a jump past MaxHeartbeatSkew kills the connection with a
+			// typed ack. The echo stays verbatim either way: it reports
+			// what the server heard, which is what lets the device detect
+			// in-flight tampering by comparing against what it sent.
+			switch {
+			case sc.lastNow > 0 && now > sc.lastNow+MaxHeartbeatSkew:
+				s.tel.hbRejected.Add(1)
+				err := fmt.Errorf("%w: heartbeat time %v jumps %v past session time %v", ErrMalformed, now, now-sc.lastNow, sc.lastNow)
+				_ = sc.writeAck(seq, wireCode(err), err.Error())
+				return err
+			case now < sc.lastNow:
+				s.tel.hbClamped.Add(1)
+			default:
+				sc.lastNow = now
+			}
 			if err := sc.write(protocol.FrameHeartbeat, protocol.EncodeHeartbeat(seq, now)); err != nil {
 				return err
 			}
 		case protocol.FrameBye:
 			return nil
 		default:
-			_ = sc.writeAck(0, "malformed", "unexpected "+ft.String()+" frame")
+			_ = sc.writeAck(protocol.FrameSeq(ft, payload), "malformed", "unexpected "+ft.String()+" frame")
 			return fmt.Errorf("%w: unexpected %s frame on stream", ErrMalformed, ft)
 		}
 	}

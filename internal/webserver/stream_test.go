@@ -1,6 +1,7 @@
 package webserver
 
 import (
+	"encoding/binary"
 	"errors"
 	"io"
 	"net"
@@ -51,8 +52,8 @@ func openStream(t *testing.T, r *rig, sess *protocol.Session) (io.ReadWriteClose
 }
 
 // expectAck reads one frame and asserts it is an ack with the given
-// code.
-func expectAck(t *testing.T, conn io.Reader, wantCode string) {
+// code, returning the sequence number the ack correlates to.
+func expectAck(t *testing.T, conn io.Reader, wantCode string) uint64 {
 	t.Helper()
 	ft, payload, err := protocol.ReadFrame(conn)
 	if err != nil {
@@ -61,13 +62,28 @@ func expectAck(t *testing.T, conn io.Reader, wantCode string) {
 	if ft != protocol.FrameAck {
 		t.Fatalf("got %s frame, want ack", ft)
 	}
-	_, code, detail, err := protocol.DecodeAck(payload)
+	seq, code, detail, err := protocol.DecodeAck(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if code != wantCode {
 		t.Fatalf("ack code %q (%s), want %q", code, detail, wantCode)
 	}
+	return seq
+}
+
+// metricValue reads one named counter out of the server's telemetry
+// schema (metrics.go); the schema and the value row stay index-aligned
+// by construction.
+func metricValue(t *testing.T, s *Server, name string) int64 {
+	t.Helper()
+	for i, n := range s.MetricsSchema() {
+		if n == name {
+			return s.AppendMetrics(nil)[i]
+		}
+	}
+	t.Fatalf("metric %q not in schema", name)
+	return 0
 }
 
 func TestServeStreamBatchHappyPath(t *testing.T) {
@@ -393,5 +409,134 @@ func TestServeStreamWelcomeNonceMatchesChain(t *testing.T) {
 	}
 	if _, err := r.server.HandlePageRequest(r.now, req); err != nil {
 		t.Fatalf("HTTP request off the stream chain head: %v", err)
+	}
+}
+
+// sendHeartbeat writes a heartbeat frame and reads back the server's
+// response frame raw, for tests that inspect echo vs ack behavior.
+func sendHeartbeat(t *testing.T, conn io.ReadWriteCloser, seq uint64, now time.Duration) (protocol.FrameType, []byte) {
+	t.Helper()
+	if err := protocol.WriteFrame(conn, protocol.FrameHeartbeat, protocol.EncodeHeartbeat(seq, now)); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err := protocol.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("heartbeat response: %v", err)
+	}
+	return ft, payload
+}
+
+// expectHeartbeatEcho asserts the response to a heartbeat is a verbatim
+// echo of what the client sent.
+func expectHeartbeatEcho(t *testing.T, ft protocol.FrameType, payload []byte, seq uint64, now time.Duration) {
+	t.Helper()
+	if ft != protocol.FrameHeartbeat {
+		t.Fatalf("got %s frame, want heartbeat echo", ft)
+	}
+	gotSeq, gotNow, err := protocol.DecodeHeartbeat(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSeq != seq || gotNow != now {
+		t.Fatalf("echo %d/%v, want verbatim %d/%v", gotSeq, gotNow, seq, now)
+	}
+}
+
+// TestServeStreamHeartbeatBackwardsClamped drives session time to 4s,
+// then sends a heartbeat claiming 2s. The server must clamp — keep its
+// own lastNow at 4s, count the clamp — while still echoing the 2s value
+// verbatim so the client can detect on-the-wire tampering.
+func TestServeStreamHeartbeatBackwardsClamped(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "acct")
+	sess, _ := r.login(t, "acct")
+	conn, _, exit := openStream(t, r, sess)
+	defer conn.Close()
+
+	ft, payload := sendHeartbeat(t, conn, 1, 4*time.Second)
+	expectHeartbeatEcho(t, ft, payload, 1, 4*time.Second)
+
+	// Backwards: clamped, echoed verbatim, connection stays up.
+	ft, payload = sendHeartbeat(t, conn, 2, 2*time.Second)
+	expectHeartbeatEcho(t, ft, payload, 2, 2*time.Second)
+	if got := metricValue(t, r.server, "hb_clamped"); got != 1 {
+		t.Fatalf("hb_clamped = %d, want 1", got)
+	}
+
+	// The clamp must not have dragged lastNow to 2s: a jump that is
+	// within MaxHeartbeatSkew of 2s but past it relative to 4s still
+	// kills the connection, proving session time held at 4s.
+	if err := protocol.WriteFrame(conn, protocol.FrameHeartbeat, protocol.EncodeHeartbeat(3, 4*time.Second+MaxHeartbeatSkew+time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if seq := expectAck(t, conn, "malformed"); seq != 3 {
+		t.Fatalf("rejection ack correlates to seq %d, want 3", seq)
+	}
+	if err := <-exit; !errors.Is(err, ErrMalformed) {
+		t.Fatalf("read loop exit = %v, want ErrMalformed", err)
+	}
+	if got := metricValue(t, r.server, "hb_rejected"); got != 1 {
+		t.Fatalf("hb_rejected = %d, want 1", got)
+	}
+}
+
+// TestServeStreamHeartbeatFirstTimestampUnbounded pins the skew bound's
+// scope: a hello-bound connection has observed no timestamp yet, so its
+// first heartbeat seeds session time as-is, however large.
+func TestServeStreamHeartbeatFirstTimestampUnbounded(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "acct")
+	sess, _ := r.login(t, "acct")
+	conn, _, _ := openStream(t, r, sess)
+	defer conn.Close()
+
+	far := 400 * 24 * time.Hour
+	ft, payload := sendHeartbeat(t, conn, 1, far)
+	expectHeartbeatEcho(t, ft, payload, 1, far)
+	// And from there the bound is armed.
+	if err := protocol.WriteFrame(conn, protocol.FrameHeartbeat, protocol.EncodeHeartbeat(2, far+MaxHeartbeatSkew+time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if seq := expectAck(t, conn, "malformed"); seq != 2 {
+		t.Fatalf("rejection ack correlates to seq %d, want 2", seq)
+	}
+}
+
+// TestServeStreamMalformedFrameAcksEchoSeq pins ack/sequence
+// correlation on the undecodable-frame paths: a payload that fails to
+// decode still leads with its 8-byte sequence, and the malformed ack
+// must echo it rather than a hardcoded zero.
+func TestServeStreamMalformedFrameAcksEchoSeq(t *testing.T) {
+	r := newRig(t)
+	r.register(t, "acct")
+	cases := []struct {
+		name string
+		ft   protocol.FrameType
+		seq  uint64
+	}{
+		{"touch-batch", protocol.FrameTouchBatch, 77},
+		{"resync", protocol.FrameResync, 88},
+		{"heartbeat", protocol.FrameHeartbeat, 99},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess, _ := r.login(t, "acct")
+			conn, _, exit := openStream(t, r, sess)
+			defer conn.Close()
+			// A valid sequence prefix followed by garbage the decoder
+			// must reject (a bare seq is itself undecodable for all
+			// three: each payload carries required fields beyond it).
+			payload := binary.BigEndian.AppendUint64(nil, tc.seq)
+			payload = append(payload, 0xde, 0xad)
+			if err := protocol.WriteFrame(conn, tc.ft, payload); err != nil {
+				t.Fatal(err)
+			}
+			if seq := expectAck(t, conn, "malformed"); seq != tc.seq {
+				t.Fatalf("malformed ack correlates to seq %d, want %d", seq, tc.seq)
+			}
+			if err := <-exit; err == nil {
+				t.Fatal("read loop survived an undecodable frame")
+			}
+		})
 	}
 }
